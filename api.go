@@ -1,0 +1,304 @@
+package hide
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/bianchi"
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/energy"
+	"repro/internal/policy"
+	"repro/internal/porttable"
+	"repro/internal/procnet"
+	"repro/internal/station"
+	"repro/internal/trace"
+)
+
+// Re-exported core types. Aliases keep values from the public API fully
+// interchangeable with the internal packages used by advanced callers.
+type (
+	// Profile is a device energy profile (Table I).
+	Profile = energy.Profile
+	// Breakdown is an evaluated energy decomposition (Eq. 2).
+	Breakdown = energy.Breakdown
+	// Arrival is one received frame with its wakelock, the energy
+	// model's input unit.
+	Arrival = energy.Arrival
+	// Overhead configures the HIDE protocol overhead (Eqs. 15-19).
+	Overhead = energy.Overhead
+
+	// Trace is a broadcast traffic trace.
+	Trace = trace.Trace
+	// Frame is one broadcast frame in a trace.
+	Frame = trace.Frame
+	// Scenario names one of the paper's five capture environments.
+	Scenario = trace.Scenario
+	// GenConfig parameterizes the synthetic trace generator.
+	GenConfig = trace.GenConfig
+	// CDF is an empirical distribution over samples.
+	CDF = trace.CDF
+
+	// PolicyKind enumerates the compared solutions.
+	PolicyKind = policy.Kind
+
+	// Result is one evaluated (trace, device, policy, useful%) cell.
+	Result = core.Result
+	// EnergyComparison is one trace's worth of Figure 7/8 bars.
+	EnergyComparison = core.EnergyComparison
+	// SuspendRow is one trace's worth of Figure 9 bars.
+	SuspendRow = core.SuspendRow
+	// Suite is a full per-device evaluation across all scenarios.
+	Suite = core.Suite
+	// Options tunes an evaluation.
+	Options = core.Options
+
+	// Network is the protocol-level simulation harness.
+	Network = core.Network
+	// NetworkConfig configures NewNetwork.
+	NetworkConfig = core.NetworkConfig
+	// NetworkCapture records a run's frames for pcap export.
+	NetworkCapture = core.Capture
+	// StationMode selects a simulated client's broadcast handling.
+	StationMode = station.Mode
+
+	// DCFConfig is the 802.11 configuration for the capacity model
+	// (Table II).
+	DCFConfig = bianchi.Config
+	// CapacityParams parameterizes the capacity-overhead analysis.
+	CapacityParams = bianchi.OverheadParams
+	// DelayParams parameterizes the delay-overhead analysis.
+	DelayParams = porttable.DelayParams
+	// OpTimings prices port-table operations for the delay model.
+	OpTimings = porttable.OpTimings
+	// PortTable is the AP-side Client UDP Port Table.
+	PortTable = porttable.Table
+)
+
+// Device profiles from the paper's Table I.
+var (
+	// NexusOne is the measured Nexus One profile.
+	NexusOne = energy.NexusOne
+	// GalaxyS4 is the measured Samsung Galaxy S4 profile.
+	GalaxyS4 = energy.GalaxyS4
+	// Profiles lists the built-in device profiles.
+	Profiles = energy.Profiles
+)
+
+// The five trace scenarios (Figure 6).
+const (
+	Classroom = trace.Classroom
+	CSDept    = trace.CSDept
+	WML       = trace.WML
+	Starbucks = trace.Starbucks
+	WRL       = trace.WRL
+)
+
+// Scenarios lists all five scenarios in the paper's order.
+var Scenarios = trace.Scenarios
+
+// The compared traffic-management solutions.
+const (
+	// ReceiveAll is the stock smartphone behaviour.
+	ReceiveAll = policy.ReceiveAll
+	// ClientSide is the driver-filter lower bound of [6].
+	ClientSide = policy.ClientSide
+	// HIDE is the paper's AP-assisted filter.
+	HIDE = policy.HIDE
+	// Combined is the future-work HIDE + client-side combination.
+	Combined = policy.Combined
+)
+
+// Station modes for the protocol simulation.
+const (
+	StationLegacy     = station.Legacy
+	StationClientSide = station.ClientSide
+	StationHIDE       = station.HIDE
+)
+
+// UsefulFractions is the Figure 7/8 sweep: 10%, 8%, 6%, 4%, 2%.
+var UsefulFractions = core.UsefulFractions
+
+// ProfileByName returns a built-in device profile by its Table I name.
+func ProfileByName(name string) (Profile, error) { return energy.ProfileByName(name) }
+
+// GenerateTrace produces the calibrated synthetic trace for a scenario.
+func GenerateTrace(s Scenario) (*Trace, error) { return trace.GenerateScenario(s) }
+
+// GenerateTraceConfig produces a trace from a custom configuration.
+func GenerateTraceConfig(cfg GenConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// ScenarioConfig returns the calibrated generator configuration for a
+// scenario, for callers that want to tweak it.
+func ScenarioConfig(s Scenario) GenConfig { return trace.ScenarioConfig(s) }
+
+// ReadTraceCSV and friends exchange traces with external captures.
+func ReadTraceCSV(r io.Reader) (*Trace, error)     { return trace.ReadCSV(r) }
+func WriteTraceCSV(w io.Writer, tr *Trace) error   { return trace.WriteCSV(w, tr) }
+func ReadTraceJSONL(r io.Reader) (*Trace, error)   { return trace.ReadJSONL(r) }
+func WriteTraceJSONL(w io.Writer, tr *Trace) error { return trace.WriteJSONL(w, tr) }
+
+// PCAPOptions tunes the pcap importer.
+type PCAPOptions = trace.PCAPOptions
+
+// ReadTracePCAP imports a classic libpcap capture (Ethernet, raw
+// 802.11, or radiotap link types) as a broadcast trace.
+func ReadTracePCAP(r io.Reader, opts PCAPOptions) (*Trace, error) { return trace.ReadPCAP(r, opts) }
+
+// WriteTracePCAP exports the trace as an 802.11 pcap capture.
+func WriteTracePCAP(w io.Writer, tr *Trace) error { return trace.WritePCAP(w, tr) }
+
+// Trace transforms for building sweeps from one capture.
+func TruncateTrace(tr *Trace, d time.Duration) *Trace { return trace.Truncate(tr, d) }
+
+// WindowTrace extracts and rebases the sub-trace in [from, to).
+func WindowTrace(tr *Trace, from, to time.Duration) (*Trace, error) {
+	return trace.Window(tr, from, to)
+}
+
+// TimeScaleTrace stretches or compresses the trace's time axis.
+func TimeScaleTrace(tr *Trace, factor float64) (*Trace, error) { return trace.TimeScale(tr, factor) }
+
+// ThinTrace keeps each frame with the given probability.
+func ThinTrace(tr *Trace, keep float64, seed uint64) (*Trace, error) {
+	return trace.Thin(tr, keep, seed)
+}
+
+// MergeTraces overlays traces onto a shared time axis.
+func MergeTraces(name string, traces ...*Trace) *Trace { return trace.Merge(name, traces...) }
+
+// RepeatTrace tiles the trace n times back to back.
+func RepeatTrace(tr *Trace, n int) (*Trace, error) { return trace.Repeat(tr, n) }
+
+// LocalOpenPorts returns this Linux machine's wildcard-bound UDP ports
+// — what a deployed HIDE client would report in its UDP Port Message.
+func LocalOpenPorts() ([]uint16, error) { return procnet.LocalOpenPorts() }
+
+// TraceSummary characterizes a trace's volume and burstiness.
+type TraceSummary = trace.Summary
+
+// SummarizeTrace computes volume, burstiness, and inter-arrival
+// statistics for a trace.
+func SummarizeTrace(tr *Trace) TraceSummary { return trace.Summarize(tr) }
+
+// SeedSweep aggregates HIDE's saving across usefulness-tagging seeds.
+type SeedSweep = core.SeedSweep
+
+// SweepSeeds evaluates the headline saving across tagging seeds to
+// show it is not a seed artifact.
+func SweepSeeds(tr *Trace, dev Profile, fraction float64, seeds []uint64) (SeedSweep, error) {
+	return core.SweepSeeds(tr, dev, fraction, seeds)
+}
+
+// DefaultSweepSeeds is a small deterministic seed set for SweepSeeds.
+var DefaultSweepSeeds = core.DefaultSweepSeeds
+
+// TagUniform marks each frame useful with probability p.
+func TagUniform(tr *Trace, p float64, seed uint64) []bool { return trace.TagUniform(tr, p, seed) }
+
+// TagByOpenPorts marks frames useful when their destination port is in
+// the open set.
+func TagByOpenPorts(tr *Trace, open map[uint16]bool) []bool {
+	return trace.TagByOpenPorts(tr, open)
+}
+
+// OpenPortsForFraction selects ports whose traffic share approximates
+// the target fraction.
+func OpenPortsForFraction(tr *Trace, target float64) map[uint16]bool {
+	return trace.OpenPortsForFraction(tr, target)
+}
+
+// Evaluate runs one policy over a tagged trace for one device.
+func Evaluate(tr *Trace, useful []bool, dev Profile, kind PolicyKind, opts Options) (Result, error) {
+	return core.Evaluate(tr, useful, dev, kind, opts)
+}
+
+// EvaluateFraction tags the trace uniformly and evaluates the policy.
+func EvaluateFraction(tr *Trace, fraction float64, dev Profile, kind PolicyKind, opts Options) (Result, error) {
+	return core.EvaluateFraction(tr, fraction, dev, kind, opts)
+}
+
+// CompareEnergy evaluates the full Figure 7/8 bar set for one trace.
+func CompareEnergy(tr *Trace, dev Profile) (EnergyComparison, error) {
+	return core.CompareEnergy(tr, dev, core.Options{})
+}
+
+// SuspendFractions evaluates the Figure 9 row for one trace.
+func SuspendFractions(tr *Trace, dev Profile) (SuspendRow, error) {
+	return core.SuspendFractions(tr, dev, core.Options{})
+}
+
+// RunSuite evaluates Figures 7/8 and 9 across all scenarios.
+func RunSuite(dev Profile) (*Suite, error) { return core.RunSuite(dev, core.Options{}) }
+
+// NewNetwork builds the protocol-level simulation harness.
+func NewNetwork(cfg NetworkConfig) (*Network, error) { return core.NewNetwork(cfg) }
+
+// TableII returns the 802.11b configuration of the paper's Table II.
+func TableII() DCFConfig { return bianchi.TableII() }
+
+// NetworkCapacity solves Bianchi's model for n saturated stations.
+func NetworkCapacity(cfg DCFConfig, n int) (bianchi.Result, error) { return bianchi.Solve(cfg, n) }
+
+// CapacityOverhead computes the fractional capacity decrease (Eq. 24).
+func CapacityOverhead(cfg DCFConfig, p CapacityParams, n int) (float64, error) {
+	return bianchi.CapacityOverhead(cfg, p, n)
+}
+
+// Figure10 sweeps the paper's capacity-overhead grid.
+func Figure10(cfg DCFConfig) ([]bianchi.Figure10Point, error) { return bianchi.Figure10(cfg) }
+
+// DelayOverhead computes the bounded RTT increase (Eq. 27).
+func DelayOverhead(p DelayParams) (float64, error) { return porttable.DelayOverhead(p) }
+
+// DelayDefaults returns the paper's Section V-B settings.
+func DelayDefaults() DelayParams { return porttable.SectionVDefaults() }
+
+// CalibratedARMTimings returns port-table operation costs calibrated
+// to the paper's router-class measurement device.
+func CalibratedARMTimings() OpTimings { return porttable.CalibratedARM() }
+
+// MeasureTableTimings measures this machine's port-table operation
+// costs with the paper's procedure.
+func MeasureTableTimings(n, portsPerClient int, seed uint64) OpTimings {
+	return porttable.Measure(n, portsPerClient, seed)
+}
+
+// Figure11 sweeps delay overhead across port-message intervals.
+func Figure11(t OpTimings) ([]porttable.Figure11Point, error) { return porttable.Figure11(t) }
+
+// Figure12 sweeps delay overhead across open-port counts.
+func Figure12(t OpTimings) ([]porttable.Figure12Point, error) { return porttable.Figure12(t) }
+
+// NewPortTable returns an empty Client UDP Port Table.
+func NewPortTable() *PortTable { return porttable.New() }
+
+// NewCDFInts builds an empirical CDF from integer samples (Figure 6).
+func NewCDFInts(samples []int) *CDF { return trace.NewCDFInts(samples) }
+
+// DefaultOverhead returns the paper's evaluation overhead settings.
+func DefaultOverhead() Overhead { return energy.DefaultOverhead() }
+
+// ComputeEnergy evaluates the Section IV model directly over arrivals;
+// most callers use Evaluate and the policy layer instead.
+func ComputeEnergy(frames []Arrival, dev Profile, duration time.Duration, overhead Overhead) (Breakdown, error) {
+	return energy.Compute(frames, energy.Config{Device: dev, Duration: duration, Overhead: overhead})
+}
+
+// StateInterval is one contiguous host power-state stretch.
+type StateInterval = energy.Interval
+
+// StateTimeline reconstructs the host power-state timeline (suspended,
+// resuming, awake, suspending) from a received-frame sequence. The
+// intervals partition [0, duration] exactly.
+func StateTimeline(frames []Arrival, dev Profile, duration time.Duration) ([]StateInterval, error) {
+	return energy.StateTimeline(frames, energy.Config{Device: dev, Duration: duration})
+}
+
+// Rates re-exported for trace configuration.
+const (
+	Rate1Mbps  = dot11.Rate1Mbps
+	Rate2Mbps  = dot11.Rate2Mbps
+	Rate55Mbps = dot11.Rate55Mbps
+	Rate11Mbps = dot11.Rate11Mbps
+)

@@ -1,0 +1,147 @@
+// Command hidec is the HIDE client daemon: it connects to a hided AP
+// over UDP "virtual air", associates with real 802.11 frames, reports
+// its open UDP ports (from -ports, or this machine's actual
+// /proc/net/udp with -procnet), and then lives the HIDE lifecycle —
+// suspending, watching its BTIM bit, and waking only for broadcast
+// traffic some local port wants.
+//
+//	hidec -connect 127.0.0.1:5600 -ports 5353,17500 -mode hide
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/airlink"
+	"repro/internal/dot11"
+	"repro/internal/energy"
+	"repro/internal/procnet"
+	"repro/internal/sim"
+	"repro/internal/station"
+)
+
+func main() {
+	connect := flag.String("connect", "127.0.0.1:5600", "hided address")
+	ssid := flag.String("ssid", "hide-net", "network name to associate with")
+	mode := flag.String("mode", "hide", "client mode: hide, legacy, or clientside")
+	portsArg := flag.String("ports", "5353", "comma-separated open UDP ports")
+	useProcnet := flag.Bool("procnet", false, "report this machine's real wildcard UDP ports instead of -ports")
+	mac := flag.Int("mac", 1, "low byte of this client's MAC address (distinguish multiple clients)")
+	device := flag.String("device", "nexusone", "device profile for the energy report")
+	statsEvery := flag.Duration("stats", 10*time.Second, "status print interval")
+	runFor := flag.Duration("for", 0, "exit with an energy report after this long (0 = run forever)")
+	flag.Parse()
+
+	var m station.Mode
+	switch strings.ToLower(*mode) {
+	case "hide":
+		m = station.HIDE
+	case "legacy":
+		m = station.Legacy
+	case "clientside":
+		m = station.ClientSide
+	default:
+		fmt.Fprintf(os.Stderr, "hidec: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	dev, err := hide.ProfileByName(map[string]string{
+		"nexusone": "Nexus One", "galaxys4": "Galaxy S4",
+	}[strings.ToLower(*device)])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hidec: %v\n", err)
+		os.Exit(2)
+	}
+
+	var ports []uint16
+	if *useProcnet {
+		ports, err = procnet.LocalOpenPorts()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hidec: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, s := range strings.Split(*portsArg, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			p, err := strconv.ParseUint(s, 10, 16)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hidec: bad port %q\n", s)
+				os.Exit(2)
+			}
+			ports = append(ports, uint16(p))
+		}
+	}
+
+	inject := make(chan sim.Event, 256)
+	link, err := airlink.Dial(*connect, inject)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hidec: %v\n", err)
+		os.Exit(1)
+	}
+	eng := sim.New()
+	st := station.New(eng, link, station.Config{
+		Addr:  dot11.MACAddr{0x02, 0x1d, 0xe0, 0xfe, 0x00, byte(*mac)},
+		BSSID: dot11.MACAddr{0x02, 0x1d, 0xe0, 0xff, 0x00, 0x01},
+		Mode:  m,
+	})
+	for _, p := range ports {
+		st.OpenPort(p)
+	}
+	st.StartAssociation(*ssid)
+	fmt.Printf("hidec: %s client -> %s, ports %v\n", m, *connect, ports)
+
+	// Periodic status and optional timed exit, on the engine clock.
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		s := st.Stats()
+		state := "awake"
+		if st.Suspended() {
+			state = "suspended"
+		}
+		fmt.Printf("[%8s] aid=%d %s beacons=%d group=%d useful=%d wakeups=%d portmsgs=%d\n",
+			now.Truncate(time.Second), st.AID(), state, s.BeaconsHeard,
+			s.GroupReceived, s.GroupUseful, s.Wakeups, s.PortMsgsSent)
+		eng.MustScheduleAfter(*statsEvery, tick)
+	}
+	eng.MustScheduleAfter(*statsEvery, tick)
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if *runFor > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *runFor)
+		defer cancel()
+	}
+
+	go func() {
+		if err := link.Serve(); err != nil {
+			fmt.Fprintf(os.Stderr, "hidec: link: %v\n", err)
+		}
+	}()
+	err = eng.RunRealtime(ctx, inject)
+	if *runFor > 0 && err == context.DeadlineExceeded {
+		// Final energy report over the run.
+		b, cerr := energy.Compute(st.Arrivals(), energy.Config{
+			Device:   dev,
+			Duration: *runFor,
+		})
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "hidec: energy: %v\n", cerr)
+			os.Exit(1)
+		}
+		fmt.Printf("\nenergy over %v on %s: %.1f mW avg, %.1f%% suspended (%d wakeups)\n",
+			*runFor, dev.Name, b.AvgPowerW()*1000, b.SuspendFraction*100, st.Stats().Wakeups)
+		return
+	}
+	if err != nil && err != context.Canceled {
+		fmt.Fprintf(os.Stderr, "hidec: %v\n", err)
+		os.Exit(1)
+	}
+}

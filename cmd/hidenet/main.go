@@ -1,0 +1,188 @@
+// Command hidenet runs the protocol-level simulation: one AP and a set
+// of stations (HIDE, legacy receive-all, and client-side) exchange real
+// marshalled 802.11 frames over an emulated channel while a scenario's
+// broadcast trace replays through the AP. It reports per-station
+// protocol counters and energy under the Section IV model.
+//
+// Usage:
+//
+//	hidenet [-scenario Starbucks] [-device nexusone] [-useful 0.1] [-loss 0] [-minutes 0]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	stdnet "net"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/station"
+)
+
+func main() {
+	scenario := flag.String("scenario", "Starbucks", "trace scenario to replay")
+	device := flag.String("device", "nexusone", "device profile: nexusone or galaxys4")
+	useful := flag.Float64("useful", 0.10, "target fraction of useful broadcast frames")
+	loss := flag.Float64("loss", 0, "medium loss probability")
+	minutes := flag.Int("minutes", 0, "truncate the trace to this many minutes (0 = full)")
+	serve := flag.String("serve", "", "serve a live monitor/inject service on this UDP address (e.g. 127.0.0.1:5599)")
+	speed := flag.Float64("speed", 50, "realtime pacing speedup when serving")
+	pcapOut := flag.String("pcap", "", "write a monitor-mode pcap capture of the run to this file")
+	flag.Parse()
+
+	var dev hide.Profile
+	switch strings.ToLower(*device) {
+	case "nexusone":
+		dev = hide.NexusOne
+	case "galaxys4":
+		dev = hide.GalaxyS4
+	default:
+		fmt.Fprintf(os.Stderr, "hidenet: unknown device %q\n", *device)
+		os.Exit(2)
+	}
+
+	var sc hide.Scenario
+	found := false
+	for _, s := range hide.Scenarios {
+		if strings.EqualFold(s.String(), *scenario) {
+			sc, found = s, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "hidenet: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	tr, err := hide.GenerateTrace(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
+		os.Exit(1)
+	}
+	if *minutes > 0 {
+		cut := time.Duration(*minutes) * time.Minute
+		if cut < tr.Duration {
+			n := 0
+			for _, f := range tr.Frames {
+				if f.At >= cut {
+					break
+				}
+				n++
+			}
+			tr.Frames = tr.Frames[:n]
+			tr.Duration = cut
+		}
+	}
+
+	// Give every station ports covering roughly the target fraction of
+	// the trace's traffic — the deployed system's usefulness notion.
+	open := hide.OpenPortsForFraction(tr, *useful)
+	var ports []uint16
+	for p := range open {
+		ports = append(ports, p)
+	}
+
+	net, err := hide.NewNetwork(hide.NetworkConfig{HIDE: true, Loss: *loss, Seed: 7})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
+		os.Exit(1)
+	}
+	type entry struct {
+		name     string
+		mode     hide.StationMode
+		overhead bool
+		st       *station.Station
+	}
+	entries := []*entry{
+		{name: "HIDE", mode: hide.StationHIDE, overhead: true},
+		{name: "legacy", mode: hide.StationLegacy},
+		{name: "client-side", mode: hide.StationClientSide},
+	}
+	for _, e := range entries {
+		st, err := net.AddStation(e.mode, ports)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
+			os.Exit(1)
+		}
+		e.st = st
+	}
+
+	fmt.Printf("replaying %s (%v, %d frames, %.2f fps) with %d open ports (%.1f%% of traffic)\n",
+		tr.Name, tr.Duration, len(tr.Frames), tr.MeanFPS(), len(ports),
+		100*fracOfTraffic(tr, open))
+	var capture *hide.NetworkCapture
+	if *pcapOut != "" {
+		capture = net.StartCapture()
+	}
+	if *serve != "" {
+		pc, err := stdnet.ListenPacket("udp", *serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
+			os.Exit(1)
+		}
+		mon := net.ServeMonitor(pc)
+		defer mon.Close()
+		fmt.Printf("monitor service on %v (connect with hidetap); pacing at %gx\n",
+			mon.Server.Addr(), *speed)
+		if err := net.ReplayRealtime(context.Background(), tr, *speed); err != nil {
+			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
+			os.Exit(1)
+		}
+	} else if err := net.Replay(tr); err != nil {
+		fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
+		os.Exit(1)
+	}
+
+	if capture != nil {
+		f, err := os.Create(*pcapOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
+			os.Exit(1)
+		}
+		if err := capture.WritePCAP(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "hidenet: writing pcap: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d captured frames to %s\n", capture.Frames(), *pcapOut)
+	}
+
+	ap := net.AP.Stats()
+	fmt.Printf("\nAP: beacons=%d dtims=%d group=%d portmsgs=%d acks=%d btimBytes=%d\n",
+		ap.BeaconsSent, ap.DTIMsSent, ap.GroupFramesSent, ap.PortMsgsReceived, ap.ACKsSent, ap.BTIMBytesSent)
+
+	fmt.Printf("\n%-12s %9s %8s %8s %8s %9s %10s %9s\n",
+		"station", "received", "useful", "dropped", "wakeups", "suspends", "power(mW)", "suspend%")
+	for _, e := range entries {
+		b, err := net.StationEnergy(e.st, dev, tr.Duration, e.overhead)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
+			os.Exit(1)
+		}
+		s := e.st.Stats()
+		fmt.Printf("%-12s %9d %8d %8d %8d %9d %10.1f %8.1f%%\n",
+			e.name, s.GroupReceived, s.GroupUseful, s.GroupDropped, s.Wakeups, s.Suspends,
+			b.AvgPowerW()*1000, b.SuspendFraction*100)
+	}
+}
+
+// fracOfTraffic returns the share of frames whose port is open.
+func fracOfTraffic(tr *hide.Trace, open map[uint16]bool) float64 {
+	if len(tr.Frames) == 0 {
+		return 0
+	}
+	n := 0
+	for _, f := range tr.Frames {
+		if open[f.DstPort] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(tr.Frames))
+}

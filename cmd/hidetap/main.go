@@ -1,0 +1,102 @@
+// Command hidetap is a monitor-mode client for a simulation served by
+// `hidenet -serve`: it subscribes to the frame stream and prints a
+// tcpdump-style line per frame, decoding beacons (TIM/BTIM bits), UDP
+// Port Messages, and broadcast data. With -inject it pushes a
+// broadcast frame into the running simulation first.
+//
+// Usage:
+//
+//	hidetap -addr 127.0.0.1:5599 [-n 50] [-inject 5353] [-timeout 10s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/netmedium"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5599", "monitor service address")
+	count := flag.Int("n", 50, "frames to print before exiting (0 = forever)")
+	inject := flag.Int("inject", 0, "inject a broadcast frame to this UDP port first")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-frame receive timeout")
+	flag.Parse()
+
+	tap, err := netmedium.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hidetap: %v\n", err)
+		os.Exit(1)
+	}
+	defer tap.Close()
+
+	if *inject > 0 && *inject <= 0xffff {
+		if err := tap.Inject(netmedium.InjectRequest{DstPort: uint16(*inject), PayloadSize: 64}); err != nil {
+			fmt.Fprintf(os.Stderr, "hidetap: inject: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("injected broadcast to udp/%d\n", *inject)
+	}
+
+	for i := 0; *count == 0 || i < *count; i++ {
+		ev, err := tap.Next(time.Now().Add(*timeout))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hidetap: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(describe(ev))
+	}
+}
+
+// describe formats one frame event as a tcpdump-style line.
+func describe(ev netmedium.FrameEvent) string {
+	prefix := fmt.Sprintf("%12v %8s %4dB ", ev.At, ev.Rate, len(ev.Raw))
+	switch dot11.Classify(ev.Raw) {
+	case dot11.KindBeacon:
+		b, err := dot11.UnmarshalBeacon(ev.Raw)
+		if err != nil {
+			return prefix + "beacon (malformed)"
+		}
+		s := prefix + fmt.Sprintf("beacon ssid=%q", b.SSID)
+		if b.TIM != nil {
+			s += fmt.Sprintf(" dtim=%d/%d bc=%v", b.TIM.DTIMCount, b.TIM.DTIMPeriod, b.TIM.Broadcast)
+		}
+		if b.BTIM != nil {
+			s += fmt.Sprintf(" btim[off=%d,%dB]", b.BTIM.Offset, len(b.BTIM.PartialBitmap))
+		}
+		return s
+	case dot11.KindUDPPortMessage:
+		m, err := dot11.UnmarshalUDPPortMessage(ev.Raw)
+		if err != nil {
+			return prefix + "udp-port-message (malformed)"
+		}
+		return prefix + fmt.Sprintf("udp-port-message from %v: %d ports %v",
+			m.Header.Addr2, len(m.Ports), m.Ports)
+	case dot11.KindData:
+		d, err := dot11.UnmarshalDataFrame(ev.Raw)
+		if err != nil {
+			return prefix + "data (malformed)"
+		}
+		dst := "unicast"
+		if d.Header.Addr1.IsBroadcast() {
+			dst = "broadcast"
+		}
+		if port, err := dot11.DstUDPPort(d.Payload); err == nil {
+			return prefix + fmt.Sprintf("data %s udp/%d more=%v", dst, port, d.Header.FC.MoreData)
+		}
+		return prefix + "data " + dst
+	case dot11.KindACK:
+		return prefix + "ack"
+	case dot11.KindPSPoll:
+		return prefix + "ps-poll"
+	case dot11.KindAssocRequest:
+		return prefix + "assoc-request"
+	case dot11.KindAssocResponse:
+		return prefix + "assoc-response"
+	default:
+		return prefix + "unknown"
+	}
+}

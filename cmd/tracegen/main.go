@@ -1,0 +1,118 @@
+// Command tracegen generates the five calibrated synthetic broadcast
+// traces and characterizes them: per-second volume CDFs (Figure 6),
+// means, durations, and destination-port composition. With -out it
+// also writes each trace as CSV for use with external tools or as a
+// template for substituting real captures.
+//
+// Usage:
+//
+//	tracegen [-scenario all|Classroom|CS_Dept|WML|Starbucks|WRL] [-out dir] [-cdf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	scenario := flag.String("scenario", "all", "scenario to generate, or all")
+	outDir := flag.String("out", "", "directory to write CSV traces into")
+	cdf := flag.Bool("cdf", false, "print full CDF series (Figure 6 curves)")
+	flag.Parse()
+
+	var scenarios []hide.Scenario
+	if *scenario == "all" {
+		scenarios = hide.Scenarios
+	} else {
+		found := false
+		for _, s := range hide.Scenarios {
+			if strings.EqualFold(s.String(), *scenario) {
+				scenarios = []hide.Scenario{s}
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown scenario %q\n", *scenario)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Println("== Figure 6: broadcast traffic volumes in traces ==")
+	fmt.Printf("%-10s %9s %8s %8s %8s %8s %8s\n",
+		"trace", "duration", "frames", "mean", "p50", "p90", "p99")
+	for _, s := range scenarios {
+		tr, err := hide.GenerateTrace(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		counts := tr.FramesPerSecond()
+		c := hide.NewCDFInts(counts)
+		fmt.Printf("%-10s %9s %8d %8.2f %8.0f %8.0f %8.0f\n",
+			tr.Name, tr.Duration, len(tr.Frames), c.Mean(),
+			c.Quantile(0.5), c.Quantile(0.9), c.Quantile(0.99))
+
+		if *cdf {
+			xs, ps := c.Points()
+			fmt.Printf("  cdf(%s): ", tr.Name)
+			for i := range xs {
+				fmt.Printf("(%.0f, %.3f) ", xs[i], ps[i])
+			}
+			fmt.Println()
+		}
+
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, strings.ToLower(tr.Name)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+				os.Exit(1)
+			}
+			if err := hide.WriteTraceCSV(f, tr); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "tracegen: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tracegen: closing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
+	}
+
+	fmt.Println("\n== destination-port composition (frames per port) ==")
+	for _, s := range scenarios {
+		tr, err := hide.GenerateTrace(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		hist := tr.PortHistogram()
+		type pc struct {
+			port  uint16
+			count int
+		}
+		ports := make([]pc, 0, len(hist))
+		for p, n := range hist {
+			ports = append(ports, pc{p, n})
+		}
+		sort.Slice(ports, func(i, j int) bool { return ports[i].count > ports[j].count })
+		fmt.Printf("%-10s", tr.Name)
+		for _, p := range ports {
+			fmt.Printf(" %d:%d", p.port, p.count)
+		}
+		fmt.Println()
+	}
+}

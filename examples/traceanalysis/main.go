@@ -1,0 +1,108 @@
+// Traceanalysis: characterize a broadcast trace the way the paper's
+// Figure 6 does — per-second volume CDF, port composition, and what a
+// given set of open ports would make "useful" — then round-trip the
+// trace through the CSV codec the way a user substituting a real
+// capture would.
+//
+// Run with:
+//
+//	go run ./examples/traceanalysis
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	tr, err := hide.GenerateTrace(hide.CSDept)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("trace %q: %d frames over %v (mean %.2f frames/s)\n\n",
+		tr.Name, len(tr.Frames), tr.Duration, tr.MeanFPS())
+
+	// Figure 6 style CDF of per-second volumes.
+	c := hide.NewCDFInts(tr.FramesPerSecond())
+	fmt.Println("per-second volume CDF:")
+	for _, q := range []float64{0.25, 0.50, 0.75, 0.90, 0.99} {
+		fmt.Printf("  p%-3.0f  %4.0f frames/s\n", q*100, c.Quantile(q))
+	}
+	fmt.Printf("  mean  %5.2f frames/s\n\n", c.Mean())
+
+	// Port composition, heaviest first.
+	hist := tr.PortHistogram()
+	type pc struct {
+		port  uint16
+		count int
+	}
+	ports := make([]pc, 0, len(hist))
+	for p, n := range hist {
+		ports = append(ports, pc{p, n})
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i].count > ports[j].count })
+	fmt.Println("destination-port composition:")
+	for _, p := range ports {
+		fmt.Printf("  udp/%-5d %6d frames (%4.1f%%)  %s\n",
+			p.port, p.count, 100*float64(p.count)/float64(len(tr.Frames)), portName(p.port))
+	}
+
+	// What would a phone listening on mDNS + DHCP find useful?
+	open := map[uint16]bool{5353: true, 68: true}
+	useful := hide.TagByOpenPorts(tr, open)
+	n := 0
+	for _, u := range useful {
+		if u {
+			n++
+		}
+	}
+	fmt.Printf("\na phone listening on mDNS+DHCP finds %d/%d frames useful (%.1f%%)\n",
+		n, len(tr.Frames), 100*float64(n)/float64(len(tr.Frames)))
+
+	// And which ports approximate a 10% useful share?
+	auto := hide.OpenPortsForFraction(tr, 0.10)
+	var autoPorts []int
+	for p := range auto {
+		autoPorts = append(autoPorts, int(p))
+	}
+	sort.Ints(autoPorts)
+	fmt.Printf("ports covering ~10%% of traffic: %v\n", autoPorts)
+
+	// Round-trip through CSV, as a real capture would arrive.
+	var buf bytes.Buffer
+	if err := hide.WriteTraceCSV(&buf, tr); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	back, err := hide.ReadTraceCSV(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCSV round trip: %d bytes, %d frames preserved, duration %v\n",
+		size, len(back.Frames), back.Duration)
+}
+
+// portName labels the well-known broadcast ports in the default mix.
+func portName(p uint16) string {
+	names := map[uint16]string{
+		67:    "DHCP server",
+		68:    "DHCP client",
+		137:   "NetBIOS name service",
+		138:   "NetBIOS datagram",
+		631:   "IPP printer discovery",
+		1900:  "SSDP/UPnP",
+		5353:  "mDNS/Bonjour",
+		5355:  "LLMNR",
+		9956:  "printer status",
+		17500: "Dropbox LanSync",
+	}
+	if n, ok := names[p]; ok {
+		return n
+	}
+	return "unknown"
+}

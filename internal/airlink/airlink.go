@@ -1,0 +1,252 @@
+// Package airlink carries 802.11 frames over real UDP sockets — the
+// "virtual air" between the hided AP daemon and hidec client daemons
+// running as separate processes. It implements the same medium.Channel
+// surface as the in-process emulated medium, so the exact same AP and
+// station code runs over loopback or a LAN, in wall-clock time, with
+// the engine driven by sim.RunRealtime.
+//
+// Framing reuses the netmedium wire protocol: each UDP datagram is one
+// MsgFrame message carrying the raw 802.11 frame and its nominal PHY
+// rate. The hub (AP side) learns peer addresses from the source MAC of
+// frames it receives and routes unicast frames accordingly; group
+// frames fan out to every known peer.
+package airlink
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/medium"
+	"repro/internal/netmedium"
+	"repro/internal/sim"
+)
+
+// maxDatagram bounds reads.
+const maxDatagram = 8192
+
+// srcMAC extracts the transmitter address of a raw frame (Addr2/TA at
+// offset 10 for everything this protocol sends except ACKs).
+func srcMAC(raw []byte) (dot11.MACAddr, bool) {
+	var src dot11.MACAddr
+	if len(raw) < 16 || dot11.Classify(raw) == dot11.KindACK {
+		return src, false
+	}
+	copy(src[:], raw[10:16])
+	return src, true
+}
+
+// dstMAC extracts the receiver address (offset 4 for all frame types).
+func dstMAC(raw []byte) (dot11.MACAddr, bool) {
+	var dst dot11.MACAddr
+	if len(raw) < 10 {
+		return dst, false
+	}
+	copy(dst[:], raw[4:10])
+	return dst, true
+}
+
+// Hub is the AP-side link: it owns the listening socket, learns peers,
+// and fans group frames out to all of them.
+type Hub struct {
+	pc     net.PacketConn
+	inject chan<- sim.Event
+
+	mu    sync.Mutex
+	node  medium.Node // the local AP
+	peers map[dot11.MACAddr]net.Addr
+	stats HubStats
+}
+
+// HubStats counts hub activity.
+type HubStats struct {
+	FramesIn   int
+	FramesOut  int
+	Peers      int
+	BadPackets int
+}
+
+// NewHub wraps a listening socket. Received frames are delivered to
+// the attached node via the inject channel (on the engine goroutine).
+func NewHub(pc net.PacketConn, inject chan<- sim.Event) *Hub {
+	return &Hub{pc: pc, inject: inject, peers: make(map[dot11.MACAddr]net.Addr)}
+}
+
+var _ medium.Channel = (*Hub)(nil)
+
+// Addr returns the hub's listen address.
+func (h *Hub) Addr() net.Addr { return h.pc.LocalAddr() }
+
+// Stats returns a snapshot of the counters.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.stats
+	st.Peers = len(h.peers)
+	return st
+}
+
+// Attach registers the local node (the AP). Only one node attaches to
+// a hub; stations live in other processes.
+func (h *Hub) Attach(addr dot11.MACAddr, n medium.Node) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.node = n
+}
+
+// Transmit sends a frame to its addressee(s) over UDP.
+func (h *Hub) Transmit(src dot11.MACAddr, raw []byte, rate dot11.Rate) time.Duration {
+	dst, ok := dstMAC(raw)
+	if !ok {
+		return 0
+	}
+	msg, err := netmedium.Message{Type: netmedium.MsgFrame, Rate: rate, Payload: raw}.Marshal()
+	if err != nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if dst.IsMulticast() {
+		for _, peer := range h.peers {
+			if _, err := h.pc.WriteTo(msg, peer); err == nil {
+				h.stats.FramesOut++
+			}
+		}
+		return 0
+	}
+	if peer, ok := h.peers[dst]; ok {
+		if _, err := h.pc.WriteTo(msg, peer); err == nil {
+			h.stats.FramesOut++
+		}
+	}
+	return 0
+}
+
+// Serve reads datagrams until the socket closes, delivering frames to
+// the attached node through the inject channel. Returns net.ErrClosed
+// after Close.
+func (h *Hub) Serve() error {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := h.pc.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		m, err := netmedium.Unmarshal(buf[:n])
+		if err != nil || m.Type != netmedium.MsgFrame {
+			h.mu.Lock()
+			h.stats.BadPackets++
+			h.mu.Unlock()
+			continue
+		}
+		raw := m.Payload
+		h.mu.Lock()
+		if src, ok := srcMAC(raw); ok {
+			h.peers[src] = from
+		}
+		node := h.node
+		h.stats.FramesIn++
+		h.mu.Unlock()
+		if node == nil {
+			continue
+		}
+		rate := m.Rate
+		h.inject <- func(now time.Duration) {
+			node.Receive(raw, rate, now)
+		}
+	}
+}
+
+// Close shuts the hub's socket; Serve returns.
+func (h *Hub) Close() error { return h.pc.Close() }
+
+// Link is the client-side leg: a connected UDP socket to the hub.
+type Link struct {
+	conn   net.Conn
+	inject chan<- sim.Event
+
+	mu    sync.Mutex
+	node  medium.Node
+	stats LinkStats
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	FramesIn   int
+	FramesOut  int
+	BadPackets int
+}
+
+// Dial connects to a hub.
+func Dial(addr string, inject chan<- sim.Event) (*Link, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("airlink: dialing hub: %w", err)
+	}
+	return &Link{conn: conn, inject: inject}, nil
+}
+
+var _ medium.Channel = (*Link)(nil)
+
+// Attach registers the local node (the station).
+func (l *Link) Attach(addr dot11.MACAddr, n medium.Node) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.node = n
+}
+
+// Transmit sends a frame to the hub.
+func (l *Link) Transmit(src dot11.MACAddr, raw []byte, rate dot11.Rate) time.Duration {
+	msg, err := netmedium.Message{Type: netmedium.MsgFrame, Rate: rate, Payload: raw}.Marshal()
+	if err != nil {
+		return 0
+	}
+	if _, err := l.conn.Write(msg); err == nil {
+		l.mu.Lock()
+		l.stats.FramesOut++
+		l.mu.Unlock()
+	}
+	return 0
+}
+
+// Stats returns a snapshot of the counters.
+func (l *Link) Stats() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Serve reads frames from the hub until the socket closes.
+func (l *Link) Serve() error {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, err := l.conn.Read(buf)
+		if err != nil {
+			return err
+		}
+		m, err := netmedium.Unmarshal(buf[:n])
+		if err != nil || m.Type != netmedium.MsgFrame {
+			l.mu.Lock()
+			l.stats.BadPackets++
+			l.mu.Unlock()
+			continue
+		}
+		l.mu.Lock()
+		node := l.node
+		l.stats.FramesIn++
+		l.mu.Unlock()
+		if node == nil {
+			continue
+		}
+		raw := m.Payload
+		rate := m.Rate
+		l.inject <- func(now time.Duration) {
+			node.Receive(raw, rate, now)
+		}
+	}
+}
+
+// Close shuts the link; Serve returns.
+func (l *Link) Close() error { return l.conn.Close() }

@@ -1,0 +1,252 @@
+package airlink
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/dot11"
+	"repro/internal/sim"
+	"repro/internal/station"
+)
+
+var bssid = dot11.MACAddr{0x02, 0x1d, 0xe0, 0xaa, 0x00, 0x01}
+
+// rig starts a real AP daemon and a real client daemon in-process:
+// two engines, two realtime drivers, frames over loopback UDP.
+type rig struct {
+	hub    *Hub
+	link   *Link
+	apEnt  *ap.AP
+	stEnt  *station.Station
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func startRig(t *testing.T, mode station.Mode, ports []uint16, beaconInterval time.Duration) *rig {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &rig{cancel: cancel, done: make(chan struct{})}
+
+	// AP side.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apInject := make(chan sim.Event, 128)
+	r.hub = NewHub(pc, apInject)
+	apEng := sim.New()
+	r.apEnt = ap.New(apEng, r.hub, ap.Config{
+		BSSID: bssid, SSID: "air", HIDE: true,
+		BeaconInterval: beaconInterval, DTIMPeriod: 2,
+	})
+	r.apEnt.Start()
+
+	// Client side.
+	stInject := make(chan sim.Event, 128)
+	link, err := Dial(pc.LocalAddr().String(), stInject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.link = link
+	stEng := sim.New()
+	r.stEnt = station.New(stEng, link, station.Config{
+		Addr:  dot11.MACAddr{0x02, 0x1d, 0xe0, 0xaa, 0x00, 0x10},
+		BSSID: bssid,
+		Mode:  mode,
+	})
+	for _, p := range ports {
+		r.stEnt.OpenPort(p)
+	}
+	r.stEnt.StartAssociation("air")
+
+	go r.hub.Serve()
+	go r.link.Serve()
+	apDone := make(chan struct{})
+	stDone := make(chan struct{})
+	go func() { defer close(apDone); _ = apEng.RunRealtime(ctx, apInject) }()
+	go func() { defer close(stDone); _ = stEng.RunRealtime(ctx, stInject) }()
+	go func() {
+		<-apDone
+		<-stDone
+		close(r.done)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		r.hub.Close()
+		r.link.Close()
+		<-r.done
+	})
+	return r
+}
+
+// waitFor polls cond until it holds or the deadline passes. The
+// condition reads entity state owned by the engine goroutines, so it
+// routes through an inject round trip for safety.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestOverTheWireAssociationAndPortSync(t *testing.T) {
+	r := startRig(t, station.HIDE, []uint16{5353}, 20*time.Millisecond)
+
+	if !waitFor(t, 10*time.Second, func() bool { return r.stEnt.Associated() }) {
+		t.Fatalf("station never associated over UDP: link=%+v hub=%+v",
+			r.link.Stats(), r.hub.Stats())
+	}
+	if !waitFor(t, 10*time.Second, func() bool {
+		return r.apEnt.Table().Listening(5353, r.stEnt.AID())
+	}) {
+		t.Fatal("port table never synced over UDP")
+	}
+	if !waitFor(t, 10*time.Second, func() bool { return r.stEnt.Suspended() }) {
+		t.Fatal("station never suspended after the over-the-wire handshake")
+	}
+}
+
+func TestOverTheWireBroadcastFiltering(t *testing.T) {
+	r := startRig(t, station.HIDE, []uint16{5353}, 20*time.Millisecond)
+	if !waitFor(t, 10*time.Second, func() bool {
+		return r.stEnt.Associated() && r.apEnt.Table().Listening(5353, r.stEnt.AID())
+	}) {
+		t.Fatal("setup: association/port sync failed")
+	}
+
+	// Inject a useless and a useful broadcast frame at the AP. The
+	// enqueue must run on the AP engine goroutine.
+	apInject := make(chan struct{})
+	r.hubInject(func(time.Duration) {
+		r.apEnt.EnqueueGroup(dot11.UDPDatagram{DstPort: 9999}, dot11.Rate1Mbps)
+		close(apInject)
+	})
+	<-apInject
+	if !waitFor(t, 5*time.Second, func() bool { return r.apEnt.Stats().GroupFramesSent >= 1 }) {
+		t.Fatal("useless frame never flushed")
+	}
+	// The HIDE station's BTIM bit stays clear: it never receives it.
+	time.Sleep(200 * time.Millisecond)
+	if got := r.stEnt.Stats().GroupReceived; got != 0 {
+		t.Fatalf("HIDE station received %d useless frames over the wire", got)
+	}
+
+	done := make(chan struct{})
+	r.hubInject(func(time.Duration) {
+		r.apEnt.EnqueueGroup(dot11.UDPDatagram{DstPort: 5353}, dot11.Rate1Mbps)
+		close(done)
+	})
+	<-done
+	if !waitFor(t, 10*time.Second, func() bool { return r.stEnt.Stats().GroupUseful >= 1 }) {
+		t.Fatalf("useful frame never received over the wire: %+v", r.stEnt.Stats())
+	}
+}
+
+// hubInject runs fn on the AP engine goroutine.
+func (r *rig) hubInject(fn sim.Event) {
+	r.hub.inject <- fn
+}
+
+func TestLegacyClientOverTheWire(t *testing.T) {
+	r := startRig(t, station.Legacy, nil, 20*time.Millisecond)
+	if !waitFor(t, 10*time.Second, func() bool { return r.stEnt.Associated() }) {
+		t.Fatal("legacy station never associated")
+	}
+	done := make(chan struct{})
+	r.hubInject(func(time.Duration) {
+		r.apEnt.EnqueueGroup(dot11.UDPDatagram{DstPort: 9999}, dot11.Rate1Mbps)
+		close(done)
+	})
+	<-done
+	if !waitFor(t, 10*time.Second, func() bool { return r.stEnt.Stats().GroupReceived >= 1 }) {
+		t.Fatalf("legacy station never received broadcast: %+v", r.stEnt.Stats())
+	}
+}
+
+func TestSrcDstExtraction(t *testing.T) {
+	req := &dot11.AssocRequest{Header: dot11.MACHeader{
+		Addr1: bssid, Addr2: dot11.MACAddr{1, 2, 3, 4, 5, 6}, Addr3: bssid,
+	}}
+	raw, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, ok := srcMAC(raw)
+	if !ok || src != (dot11.MACAddr{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("srcMAC = %v, %v", src, ok)
+	}
+	dst, ok := dstMAC(raw)
+	if !ok || dst != bssid {
+		t.Fatalf("dstMAC = %v, %v", dst, ok)
+	}
+	// ACKs have no transmitter address to learn from.
+	ack := (&dot11.ACK{RA: bssid}).Marshal()
+	if _, ok := srcMAC(ack); ok {
+		t.Fatal("srcMAC accepted an ACK")
+	}
+	if _, ok := srcMAC([]byte{1, 2}); ok {
+		t.Fatal("srcMAC accepted a runt")
+	}
+}
+
+func TestHubTransmitToUnknownPeer(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	hub := NewHub(pc, make(chan sim.Event, 1))
+	// Unicast to a MAC the hub has never heard from: silently dropped.
+	ack := (&dot11.ACK{RA: dot11.MACAddr{9, 9, 9, 9, 9, 9}}).Marshal()
+	hub.Transmit(bssid, ack, dot11.Rate1Mbps)
+	if hub.Stats().FramesOut != 0 {
+		t.Fatal("frame sent to unknown peer")
+	}
+	// Broadcast with no peers: no-op.
+	beacon := &dot11.Beacon{Header: dot11.MACHeader{Addr1: dot11.Broadcast, Addr2: bssid, Addr3: bssid}}
+	raw, err := beacon.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Transmit(bssid, raw, dot11.Rate1Mbps)
+	if hub.Stats().FramesOut != 0 {
+		t.Fatal("broadcast sent with no peers")
+	}
+}
+
+func TestHubIgnoresGarbageDatagrams(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(pc, make(chan sim.Event, 1))
+	go hub.Serve()
+	defer hub.Close()
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Stats().BadPackets == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("garbage never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if hub.Stats().Peers != 0 {
+		t.Fatal("garbage datagram learned as peer")
+	}
+}

@@ -1,0 +1,411 @@
+// Package ap implements a HIDE-capable 802.11 access point for the
+// protocol simulation: beacon scheduling with DTIM cadence, group
+// frame buffering, per-client unicast buffering with TIM indications,
+// the Client UDP Port Table fed by UDP Port Messages, Algorithm 1 flag
+// computation, and the BTIM element that hides useless broadcast
+// frames from HIDE-enabled clients while legacy clients keep the
+// standard broadcast-bit behaviour.
+package ap
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/medium"
+	"repro/internal/porttable"
+	"repro/internal/sim"
+)
+
+// Config configures an access point.
+type Config struct {
+	// BSSID is the AP's MAC address.
+	BSSID dot11.MACAddr
+	// SSID is the advertised network name.
+	SSID string
+	// BeaconInterval defaults to 100 TU.
+	BeaconInterval time.Duration
+	// DTIMPeriod is in beacon intervals (typical 1-3; default 3).
+	DTIMPeriod int
+	// BeaconRate is the rate for beacons and group frames (basic rate).
+	BeaconRate dot11.Rate
+	// HIDE enables the HIDE extensions (BTIM + port table). When
+	// false the AP behaves as a stock 802.11 AP (receive-all).
+	HIDE bool
+	// FilterUnicast enables the paper's §I extension: unicast UDP
+	// frames addressed to a HIDE client are dropped at the AP when the
+	// client has no process listening on the destination port, instead
+	// of being buffered and indicated in the TIM. Frames whose payload
+	// cannot be classified as UDP always pass (conservative).
+	FilterUnicast bool
+}
+
+// normalized fills defaults and clamps fields to protocol limits.
+func (c Config) normalized() Config {
+	if len(c.SSID) > 32 {
+		// 802.11 limits SSIDs to 32 octets; clamping keeps beacon
+		// marshalling infallible.
+		c.SSID = c.SSID[:32]
+	}
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = dot11.DefaultBeaconInterval
+	}
+	if c.DTIMPeriod <= 0 {
+		c.DTIMPeriod = 3
+	}
+	if c.BeaconRate <= 0 {
+		c.BeaconRate = dot11.Rate1Mbps
+	}
+	return c
+}
+
+// client is the AP's per-association state.
+type client struct {
+	addr        dot11.MACAddr
+	aid         dot11.AID
+	hideCapable bool
+	psMode      bool
+	unicast     [][]byte // buffered unicast frames (raw)
+}
+
+// bufferedGroup is one buffered group-addressed frame.
+type bufferedGroup struct {
+	payload []byte // LLC/SNAP+IP body
+	rate    dot11.Rate
+	dstPort uint16
+	ok      bool // dstPort parsed successfully
+}
+
+// Stats counts AP-side protocol activity.
+type Stats struct {
+	BeaconsSent      int
+	DTIMsSent        int
+	GroupFramesSent  int
+	PortMsgsReceived int
+	ACKsSent         int
+	PSPollsServed    int
+	BTIMBytesSent    int
+	AssocResponses   int
+	UnicastFiltered  int
+	Disassociations  int
+}
+
+// AP is the access point entity. Create with New, then Start.
+type AP struct {
+	cfg     Config
+	eng     *sim.Engine
+	med     medium.Channel
+	table   *porttable.Table
+	clients map[dot11.MACAddr]*client
+	byAID   map[dot11.AID]*client
+	nextAID dot11.AID
+	group   []bufferedGroup
+	seq     uint16
+	dtim    int // beacons until next DTIM (the DTIM count)
+	stats   Stats
+}
+
+var _ medium.Node = (*AP)(nil)
+
+// New creates an AP attached to the medium.
+func New(eng *sim.Engine, med medium.Channel, cfg Config) *AP {
+	cfg = cfg.normalized()
+	a := &AP{
+		cfg:     cfg,
+		eng:     eng,
+		med:     med,
+		table:   porttable.New(),
+		clients: make(map[dot11.MACAddr]*client),
+		byAID:   make(map[dot11.AID]*client),
+		nextAID: 1,
+	}
+	med.Attach(cfg.BSSID, a)
+	return a
+}
+
+// Stats returns the AP's protocol counters.
+func (a *AP) Stats() Stats { return a.stats }
+
+// Table exposes the Client UDP Port Table (read-mostly; used by tests
+// and tooling).
+func (a *AP) Table() *porttable.Table { return a.table }
+
+// Associate registers a station and returns its AID. hideCapable marks
+// stations that understand the BTIM element.
+func (a *AP) Associate(addr dot11.MACAddr, hideCapable bool) (dot11.AID, error) {
+	if _, ok := a.clients[addr]; ok {
+		return 0, fmt.Errorf("ap: %v already associated", addr)
+	}
+	if !a.nextAID.Valid() {
+		return 0, fmt.Errorf("ap: association table full")
+	}
+	c := &client{addr: addr, aid: a.nextAID, hideCapable: hideCapable, psMode: true}
+	a.nextAID++
+	a.clients[addr] = c
+	a.byAID[c.aid] = c
+	return c.aid, nil
+}
+
+// Disassociate removes a station and its port-table entries.
+func (a *AP) Disassociate(addr dot11.MACAddr) {
+	c, ok := a.clients[addr]
+	if !ok {
+		return
+	}
+	a.table.Remove(c.aid)
+	delete(a.byAID, c.aid)
+	delete(a.clients, addr)
+}
+
+// Start schedules the beacon loop. The first beacon goes out one
+// beacon interval after the current virtual time.
+func (a *AP) Start() {
+	a.dtim = 0 // first beacon is a DTIM
+	a.eng.MustScheduleAfter(a.cfg.BeaconInterval, a.beaconTick)
+}
+
+// EnqueueGroup accepts a group-addressed (broadcast) UDP datagram from
+// the distribution system. It is buffered until the next DTIM, per the
+// 802.11 rule that group traffic is buffered while any client is in PS
+// mode (in this simulation PS clients always exist).
+func (a *AP) EnqueueGroup(d dot11.UDPDatagram, rate dot11.Rate) {
+	body := dot11.EncapsulateUDP(d)
+	a.group = append(a.group, bufferedGroup{
+		payload: body, rate: rate, dstPort: d.DstPort, ok: true,
+	})
+}
+
+// EnqueueUnicast buffers a unicast data frame for a PS-mode client;
+// the next beacon's TIM will carry the client's bit. With the
+// FilterUnicast extension enabled, frames to a HIDE client's closed
+// UDP ports are dropped here instead.
+func (a *AP) EnqueueUnicast(dst dot11.MACAddr, d dot11.UDPDatagram, rate dot11.Rate) error {
+	c, ok := a.clients[dst]
+	if !ok {
+		return fmt.Errorf("ap: %v not associated", dst)
+	}
+	if a.cfg.HIDE && a.cfg.FilterUnicast && c.hideCapable && !a.table.Listening(d.DstPort, c.aid) {
+		a.stats.UnicastFiltered++
+		return nil
+	}
+	frame := &dot11.DataFrame{
+		Header: dot11.MACHeader{
+			FC:    dot11.FrameControl{FromDS: true},
+			Addr1: dst, Addr2: a.cfg.BSSID, Addr3: a.cfg.BSSID,
+			Seq: a.nextSeq(),
+		},
+		Payload: dot11.EncapsulateUDP(d),
+	}
+	c.unicast = append(c.unicast, frame.Marshal())
+	return nil
+}
+
+// beaconTick emits one beacon and, on DTIMs, flushes group traffic.
+func (a *AP) beaconTick(now time.Duration) {
+	isDTIM := a.dtim == 0
+	beacon := a.buildBeacon(now, isDTIM)
+	raw, err := beacon.Marshal()
+	if err != nil {
+		// Beacon construction is fully under AP control; failure is a bug.
+		panic(fmt.Sprintf("ap: beacon marshal: %v", err))
+	}
+	a.med.Transmit(a.cfg.BSSID, raw, a.cfg.BeaconRate)
+	a.stats.BeaconsSent++
+	if isDTIM {
+		a.stats.DTIMsSent++
+		a.flushGroup()
+		a.dtim = a.cfg.DTIMPeriod - 1
+	} else {
+		a.dtim--
+	}
+	a.eng.MustScheduleAfter(a.cfg.BeaconInterval, a.beaconTick)
+}
+
+// buildBeacon assembles the beacon with TIM and (for HIDE APs) BTIM.
+func (a *AP) buildBeacon(now time.Duration, isDTIM bool) *dot11.Beacon {
+	// TIM: unicast bits for clients with buffered frames; broadcast bit
+	// on DTIM beacons when group frames are buffered.
+	var ub dot11.VirtualBitmap
+	for _, c := range a.clients {
+		if len(c.unicast) > 0 {
+			ub.Set(c.aid)
+		}
+	}
+	off, pm := ub.Compress()
+	tim := &dot11.TIM{
+		DTIMCount:     uint8(a.dtim),
+		DTIMPeriod:    uint8(a.cfg.DTIMPeriod),
+		Broadcast:     isDTIM && len(a.group) > 0,
+		BitmapOffset:  off,
+		PartialBitmap: pm,
+	}
+
+	b := &dot11.Beacon{
+		Header: dot11.MACHeader{
+			Addr1: dot11.Broadcast, Addr2: a.cfg.BSSID, Addr3: a.cfg.BSSID,
+			Seq: a.nextSeq(),
+		},
+		Timestamp:      uint64(now / time.Microsecond),
+		BeaconInterval: uint16(a.cfg.BeaconInterval / dot11.TU),
+		SSID:           a.cfg.SSID,
+		TIM:            tim,
+	}
+	if a.cfg.HIDE {
+		btim := dot11.BTIMFromBitmap(a.broadcastFlags())
+		b.BTIM = &btim
+		a.stats.BTIMBytesSent += len(btim.PartialBitmap) + 3
+	}
+	return b
+}
+
+// broadcastFlags runs Algorithm 1: for every buffered group frame,
+// look up the destination UDP port in the Client UDP Port Table and
+// set the flag of every client listening on it.
+func (a *AP) broadcastFlags() *dot11.VirtualBitmap {
+	var flags dot11.VirtualBitmap
+	for _, g := range a.group {
+		if !g.ok {
+			continue
+		}
+		for _, aid := range a.table.Lookup(g.dstPort) {
+			flags.Set(aid)
+		}
+	}
+	return &flags
+}
+
+// flushGroup transmits all buffered group frames after a DTIM beacon,
+// setting the MoreData bit on all but the last.
+func (a *AP) flushGroup() {
+	for i, g := range a.group {
+		frame := &dot11.DataFrame{
+			Header: dot11.MACHeader{
+				FC: dot11.FrameControl{
+					FromDS:   true,
+					MoreData: i < len(a.group)-1,
+				},
+				Addr1: dot11.Broadcast, Addr2: a.cfg.BSSID, Addr3: a.cfg.BSSID,
+				Seq: a.nextSeq(),
+			},
+			Payload: g.payload,
+		}
+		a.med.Transmit(a.cfg.BSSID, frame.Marshal(), g.rate)
+		a.stats.GroupFramesSent++
+	}
+	a.group = a.group[:0]
+}
+
+// Receive implements medium.Node: the AP's frame demultiplexer.
+func (a *AP) Receive(raw []byte, rate dot11.Rate, now time.Duration) {
+	switch dot11.Classify(raw) {
+	case dot11.KindAssocRequest:
+		a.handleAssocRequest(raw)
+	case dot11.KindDisassoc:
+		if d, err := dot11.UnmarshalDisassoc(raw); err == nil {
+			a.Disassociate(d.Header.Addr2)
+			a.stats.Disassociations++
+		}
+	case dot11.KindUDPPortMessage:
+		a.handlePortMessage(raw)
+	case dot11.KindPSPoll:
+		a.handlePSPoll(raw)
+	case dot11.KindData:
+		// Uplink data would be forwarded to the distribution system;
+		// the broadcast study doesn't model it further.
+	}
+}
+
+// handleAssocRequest performs the frame-level association exchange: it
+// allocates (or re-confirms, for retries) the station's AID, seeds the
+// port table from an included Open UDP Ports element, and responds.
+func (a *AP) handleAssocRequest(raw []byte) {
+	req, err := dot11.UnmarshalAssocRequest(raw)
+	if err != nil {
+		return
+	}
+	addr := req.Header.Addr2
+	resp := &dot11.AssocResponse{
+		Header: dot11.MACHeader{
+			Addr1: addr, Addr2: a.cfg.BSSID, Addr3: a.cfg.BSSID,
+			Seq: a.nextSeq(),
+		},
+		Status:        dot11.StatusSuccess,
+		HIDESupported: a.cfg.HIDE,
+	}
+	c, ok := a.clients[addr]
+	if !ok {
+		aid, err := a.Associate(addr, req.HIDECapable)
+		if err != nil {
+			resp.Status = dot11.StatusAPFull
+		} else {
+			c = a.clients[addr]
+			_ = aid
+		}
+	}
+	if c != nil {
+		resp.AID = c.aid
+		if a.cfg.HIDE && req.Ports != nil {
+			a.table.Update(c.aid, req.Ports)
+		}
+	}
+	a.stats.AssocResponses++
+	out, err := resp.Marshal()
+	if err != nil {
+		panic(fmt.Sprintf("ap: assoc response marshal: %v", err))
+	}
+	a.med.Transmit(a.cfg.BSSID, out, a.cfg.BeaconRate)
+}
+
+// handlePortMessage updates the port table and ACKs the sender.
+func (a *AP) handlePortMessage(raw []byte) {
+	msg, err := dot11.UnmarshalUDPPortMessage(raw)
+	if err != nil {
+		return // malformed frames are dropped silently, like real MACs
+	}
+	c, ok := a.clients[msg.Header.Addr2]
+	if !ok {
+		return // not associated; no state to update, no ACK
+	}
+	if a.cfg.HIDE {
+		a.table.Update(c.aid, msg.Ports)
+	}
+	a.stats.PortMsgsReceived++
+	ack := &dot11.ACK{RA: c.addr}
+	a.med.Transmit(a.cfg.BSSID, ack.Marshal(), a.cfg.BeaconRate)
+	a.stats.ACKsSent++
+}
+
+// handlePSPoll delivers one buffered unicast frame to the polling
+// client, setting MoreData if more remain.
+func (a *AP) handlePSPoll(raw []byte) {
+	poll, err := dot11.UnmarshalPSPoll(raw)
+	if err != nil {
+		return
+	}
+	c, ok := a.byAID[poll.AID]
+	if !ok || c.addr != poll.TA || len(c.unicast) == 0 {
+		return
+	}
+	frame := c.unicast[0]
+	c.unicast = c.unicast[1:]
+	if len(c.unicast) > 0 {
+		// Patch the MoreData bit in the stored raw frame.
+		fc := dot11.UnmarshalFrameControl([2]byte{frame[0], frame[1]})
+		fc.MoreData = true
+		b := fc.Marshal()
+		frame[0], frame[1] = b[0], b[1]
+	}
+	a.med.Transmit(a.cfg.BSSID, frame, a.cfg.BeaconRate)
+	a.stats.PSPollsServed++
+}
+
+// nextSeq returns the next sequence-control value.
+func (a *AP) nextSeq() uint16 {
+	s := a.seq
+	a.seq = (a.seq + 1) & 0x0fff
+	return s << 4
+}
+
+// BufferedGroupFrames returns the number of group frames currently
+// buffered (the paper's n_f when sampled at DTIM boundaries).
+func (a *AP) BufferedGroupFrames() int { return len(a.group) }

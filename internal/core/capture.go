@@ -1,0 +1,40 @@
+package core
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/trace"
+)
+
+// Capture records every frame on the medium — a virtual monitor-mode
+// interface. WritePCAP exports the capture so external tools
+// (wireshark/tshark) can inspect a simulation run, and ReadPCAP turns
+// it back into a broadcast trace, closing the loop:
+// generate → simulate → capture → re-analyze.
+type Capture struct {
+	records []trace.PCAPRecord
+}
+
+// StartCapture installs a monitor tap on the medium. It replaces any
+// previously installed tap (including a Monitor's publisher), so use
+// one observability mechanism per run.
+func (n *Network) StartCapture() *Capture {
+	c := &Capture{}
+	n.Medium.SetTap(func(raw []byte, rate dot11.Rate, at time.Duration) {
+		c.records = append(c.records, trace.PCAPRecord{
+			At:  at,
+			Raw: append([]byte(nil), raw...),
+		})
+	})
+	return c
+}
+
+// Frames returns the number of captured frames.
+func (c *Capture) Frames() int { return len(c.records) }
+
+// WritePCAP exports the capture as a DLT 105 pcap file.
+func (c *Capture) WritePCAP(w io.Writer) error {
+	return trace.WritePCAPRecords(w, c.records)
+}

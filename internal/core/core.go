@@ -1,0 +1,282 @@
+// Package core wires the substrates together into the paper's
+// trace-driven evaluation pipeline (Section VI-A): it applies a
+// traffic-management policy to a tagged broadcast trace, runs the
+// Section IV energy model, and produces the rows of Figures 7, 8 and 9.
+//
+// For the client-side solution the paper compares against "the lower
+// bound energy consumption of the client-side solution derived by the
+// authors" of [6]. This package computes that lower bound by sweeping
+// the driver-processing wakelock the filter holds for a useless frame
+// over a candidate set — from dropping instantly (cheap on sparse
+// traffic, pathological suspend churn on dense traffic) up to the full
+// 1 s wakelock (which degenerates to receive-all) — and keeping the
+// cheapest outcome. By construction the lower bound never exceeds
+// receive-all, matching the paper's "barely saves energy" observation
+// on the heavy traces.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// clientSideSweep is the candidate driver-wakelock set for the
+// client-side lower bound. The final candidate equals τ, i.e. the
+// receive-all behaviour, so the lower bound is ≤ receive-all.
+var clientSideSweep = []time.Duration{
+	0,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	200 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+}
+
+// Options tunes an evaluation. The zero value reproduces the paper's
+// settings (Section VI-A2).
+type Options struct {
+	// Overhead is the HIDE protocol overhead configuration; the zero
+	// value selects energy.DefaultOverhead() for HIDE policies.
+	Overhead energy.Overhead
+	// Seed drives usefulness tagging.
+	Seed uint64
+}
+
+// normalized fills defaults.
+func (o Options) normalized() Options {
+	if o.Overhead == (energy.Overhead{}) {
+		o.Overhead = energy.DefaultOverhead()
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x51de
+	}
+	return o
+}
+
+// Result is one evaluated (trace, device, policy, useful%) cell.
+type Result struct {
+	// Trace is the scenario name.
+	Trace string
+	// Device is the profile name.
+	Device string
+	// Policy identifies the solution evaluated.
+	Policy policy.Kind
+	// UsefulFraction is the fraction of broadcast frames useful to the
+	// client (the x-axis annotation of Figures 7-8).
+	UsefulFraction float64
+	// Breakdown carries the energy components and suspend fraction.
+	Breakdown energy.Breakdown
+	// DriverWakelock is the wakelock chosen by the client-side
+	// lower-bound sweep (zero for other policies).
+	DriverWakelock time.Duration
+}
+
+// AvgPowerMW returns the average power in milliwatts, the y-axis of
+// Figures 7 and 8.
+func (r Result) AvgPowerMW() float64 { return r.Breakdown.AvgPowerW() * 1000 }
+
+// Evaluate runs one policy over a tagged trace for one device.
+func Evaluate(tr *trace.Trace, useful []bool, dev energy.Profile, kind policy.Kind, opts Options) (Result, error) {
+	opts = opts.normalized()
+	res := Result{
+		Trace:          tr.Name,
+		Device:         dev.Name,
+		Policy:         kind,
+		UsefulFraction: trace.UsefulFraction(useful),
+	}
+	cfg := energy.Config{Device: dev, Duration: tr.Duration}
+	if kind.HasOverhead() {
+		cfg.Overhead = opts.Overhead
+	}
+
+	if kind == policy.ClientSide {
+		best := false
+		for _, wl := range clientSideSweep {
+			arr, err := policy.ClientSidePolicy{DriverWakelock: wl}.Apply(tr, useful)
+			if err != nil {
+				return Result{}, err
+			}
+			b, err := energy.Compute(arr, cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			if !best || b.TotalJ() < res.Breakdown.TotalJ() {
+				best = true
+				res.Breakdown = b
+				res.DriverWakelock = wl
+			}
+		}
+		return res, nil
+	}
+
+	p, err := policy.New(kind)
+	if err != nil {
+		return Result{}, err
+	}
+	arr, err := p.Apply(tr, useful)
+	if err != nil {
+		return Result{}, err
+	}
+	b, err := energy.Compute(arr, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Breakdown = b
+	return res, nil
+}
+
+// EvaluateFraction tags the trace with a uniform useful fraction and
+// evaluates the policy.
+func EvaluateFraction(tr *trace.Trace, fraction float64, dev energy.Profile, kind policy.Kind, opts Options) (Result, error) {
+	if fraction < 0 || fraction > 1 {
+		return Result{}, fmt.Errorf("core: useful fraction %v outside [0, 1]", fraction)
+	}
+	opts = opts.normalized()
+	useful := trace.TagUniform(tr, fraction, opts.Seed)
+	return Evaluate(tr, useful, dev, kind, opts)
+}
+
+// UsefulFractions is the sweep of Figures 7-8: 10%, 8%, 6%, 4%, 2%.
+var UsefulFractions = []float64{0.10, 0.08, 0.06, 0.04, 0.02}
+
+// EnergyComparison is one trace's worth of Figure 7/8 bars: the
+// receive-all bar, the client-side lower bound, and one HIDE bar per
+// useful fraction.
+type EnergyComparison struct {
+	Trace      string
+	Device     string
+	ReceiveAll Result
+	ClientSide Result
+	HIDE       []Result // indexed like UsefulFractions
+}
+
+// Savings returns HIDE's energy saving versus receive-all for the i-th
+// useful fraction, as a fraction in [0, 1].
+func (c EnergyComparison) Savings(i int) float64 {
+	ra := c.ReceiveAll.Breakdown.TotalJ()
+	if ra <= 0 {
+		return 0
+	}
+	return 1 - c.HIDE[i].Breakdown.TotalJ()/ra
+}
+
+// SavingsVsClientSide returns HIDE's saving versus the client-side
+// lower bound for the i-th useful fraction.
+func (c EnergyComparison) SavingsVsClientSide(i int) float64 {
+	cs := c.ClientSide.Breakdown.TotalJ()
+	if cs <= 0 {
+		return 0
+	}
+	return 1 - c.HIDE[i].Breakdown.TotalJ()/cs
+}
+
+// CompareEnergy evaluates all Figure 7/8 bars for one trace and device.
+func CompareEnergy(tr *trace.Trace, dev energy.Profile, opts Options) (EnergyComparison, error) {
+	out := EnergyComparison{Trace: tr.Name, Device: dev.Name}
+	var err error
+	// The receive-all and client-side rows use the 10% tagging, like
+	// the paper's first two bars.
+	if out.ReceiveAll, err = EvaluateFraction(tr, 0.10, dev, policy.ReceiveAll, opts); err != nil {
+		return out, err
+	}
+	if out.ClientSide, err = EvaluateFraction(tr, 0.10, dev, policy.ClientSide, opts); err != nil {
+		return out, err
+	}
+	for _, f := range UsefulFractions {
+		r, err := EvaluateFraction(tr, f, dev, policy.HIDE, opts)
+		if err != nil {
+			return out, err
+		}
+		out.HIDE = append(out.HIDE, r)
+	}
+	return out, nil
+}
+
+// SuspendRow is one trace's worth of Figure 9 bars: the fraction of
+// time in suspend mode under each solution.
+type SuspendRow struct {
+	Trace      string
+	Device     string
+	ReceiveAll float64
+	ClientSide float64
+	HIDE10     float64
+	HIDE2      float64
+}
+
+// SuspendFractions evaluates the Figure 9 row for one trace and device.
+func SuspendFractions(tr *trace.Trace, dev energy.Profile, opts Options) (SuspendRow, error) {
+	row := SuspendRow{Trace: tr.Name, Device: dev.Name}
+	ra, err := EvaluateFraction(tr, 0.10, dev, policy.ReceiveAll, opts)
+	if err != nil {
+		return row, err
+	}
+	cs, err := EvaluateFraction(tr, 0.10, dev, policy.ClientSide, opts)
+	if err != nil {
+		return row, err
+	}
+	h10, err := EvaluateFraction(tr, 0.10, dev, policy.HIDE, opts)
+	if err != nil {
+		return row, err
+	}
+	h2, err := EvaluateFraction(tr, 0.02, dev, policy.HIDE, opts)
+	if err != nil {
+		return row, err
+	}
+	row.ReceiveAll = ra.Breakdown.SuspendFraction
+	row.ClientSide = cs.Breakdown.SuspendFraction
+	row.HIDE10 = h10.Breakdown.SuspendFraction
+	row.HIDE2 = h2.Breakdown.SuspendFraction
+	return row, nil
+}
+
+// Suite evaluates Figures 7/8 and 9 across all five scenarios for one
+// device, generating the calibrated synthetic traces.
+type Suite struct {
+	Device      energy.Profile
+	Comparisons []EnergyComparison // one per scenario
+	Suspend     []SuspendRow       // one per scenario
+}
+
+// RunSuite generates all scenario traces and evaluates the full figure
+// set for the device.
+func RunSuite(dev energy.Profile, opts Options) (*Suite, error) {
+	s := &Suite{Device: dev}
+	for _, sc := range trace.Scenarios {
+		tr, err := trace.GenerateScenario(sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: generating %v: %w", sc, err)
+		}
+		cmp, err := CompareEnergy(tr, dev, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: comparing %v: %w", sc, err)
+		}
+		s.Comparisons = append(s.Comparisons, cmp)
+		row, err := SuspendFractions(tr, dev, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: suspend fractions %v: %w", sc, err)
+		}
+		s.Suspend = append(s.Suspend, row)
+	}
+	return s, nil
+}
+
+// SavingsRange returns the min and max HIDE saving versus receive-all
+// across the suite's scenarios for the given useful-fraction index —
+// the paper's headline "34%-75%" style ranges.
+func (s *Suite) SavingsRange(i int) (lo, hi float64) {
+	lo, hi = 1, 0
+	for _, c := range s.Comparisons {
+		v := c.Savings(i)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/dot11"
+	"repro/internal/energy"
+	"repro/internal/medium"
+	"repro/internal/sim"
+	"repro/internal/station"
+	"repro/internal/trace"
+)
+
+// Network assembles the full protocol simulation: one AP and a set of
+// stations on an emulated channel, with a broadcast trace replayed
+// through the AP's group-frame queue. It cross-validates the analytic
+// pipeline: the stations exchange real marshalled frames, and their
+// recorded arrivals feed the same Section IV energy model.
+type Network struct {
+	Engine  *sim.Engine
+	Medium  *medium.Medium
+	AP      *ap.AP
+	BSSID   dot11.MACAddr
+	SSID    string
+	entries []netEntry
+	monitor *Monitor
+}
+
+// netEntry pairs a station with its configuration.
+type netEntry struct {
+	st   *station.Station
+	addr dot11.MACAddr
+	mode station.Mode
+}
+
+// NetworkConfig configures NewNetwork.
+type NetworkConfig struct {
+	// SSID names the network (default "hide-sim").
+	SSID string
+	// BeaconInterval and DTIMPeriod follow ap.Config defaults.
+	BeaconInterval time.Duration
+	DTIMPeriod     int
+	// HIDE enables the AP's HIDE extensions.
+	HIDE bool
+	// FilterUnicast enables the AP-side unicast filtering extension
+	// (paper §I): unicast UDP frames to a HIDE client's closed ports
+	// are dropped at the AP.
+	FilterUnicast bool
+	// Loss is the medium's per-delivery loss probability.
+	Loss float64
+	// Seed drives the medium's loss RNG.
+	Seed uint64
+}
+
+// NewNetwork builds an engine, medium, and AP.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if cfg.SSID == "" {
+		cfg.SSID = "hide-sim"
+	}
+	eng := sim.New()
+	med := medium.New(eng, dot11.DefaultPHY(), cfg.Seed+1)
+	if cfg.Loss > 0 {
+		if err := med.SetLoss(cfg.Loss); err != nil {
+			return nil, err
+		}
+	}
+	bssid := dot11.MACAddr{0x02, 0x1d, 0xe0, 0x00, 0x00, 0x01}
+	a := ap.New(eng, med, ap.Config{
+		BSSID:          bssid,
+		SSID:           cfg.SSID,
+		BeaconInterval: cfg.BeaconInterval,
+		DTIMPeriod:     cfg.DTIMPeriod,
+		HIDE:           cfg.HIDE,
+		FilterUnicast:  cfg.FilterUnicast,
+	})
+	return &Network{Engine: eng, Medium: med, AP: a, BSSID: bssid, SSID: cfg.SSID}, nil
+}
+
+// AddStation creates and attaches a station with the given open ports
+// and starts the frame-level association exchange: the AssocRequest —
+// carrying the Open UDP Ports element for HIDE stations — goes over
+// the medium and the AP assigns the AID in its response. Association
+// completes within the first milliseconds of the simulation run.
+func (n *Network) AddStation(mode station.Mode, openPorts []uint16) (*station.Station, error) {
+	return n.AddStationListenInterval(mode, openPorts, 1)
+}
+
+// Replay schedules every frame of the trace as a group datagram
+// arriving at the AP from the distribution system, starts the AP's
+// beacon loop, and runs the simulation for the trace duration plus
+// one beacon interval of drain time.
+func (n *Network) Replay(tr *trace.Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	n.AP.Start()
+	for _, f := range tr.Frames {
+		f := f
+		payload := f.Length - dot11.MACHeaderLen - dot11.UDPEncapsLen
+		if payload < 0 {
+			payload = 0
+		}
+		if _, err := n.Engine.ScheduleAt(f.At, func(time.Duration) {
+			n.AP.EnqueueGroup(dot11.UDPDatagram{
+				DstIP:   [4]byte{255, 255, 255, 255},
+				DstPort: f.DstPort,
+				Payload: make([]byte, payload),
+			}, f.Rate)
+		}); err != nil {
+			return fmt.Errorf("core: scheduling trace frame: %w", err)
+		}
+	}
+	n.Engine.RunUntil(tr.Duration + dot11.DefaultBeaconInterval)
+	return nil
+}
+
+// StationEnergy evaluates the Section IV model over a station's
+// recorded arrivals, honouring the station's listen interval.
+func (n *Network) StationEnergy(st *station.Station, dev energy.Profile, duration time.Duration, withOverhead bool) (energy.Breakdown, error) {
+	cfg := energy.Config{
+		Device:               dev,
+		Duration:             duration,
+		BeaconListenInterval: st.ListenInterval(),
+	}
+	if withOverhead {
+		cfg.Overhead = energy.DefaultOverhead()
+	}
+	return energy.Compute(st.Arrivals(), cfg)
+}
+
+// AddStationListenInterval is AddStation with an 802.11 listen
+// interval: the station's radio wakes only for every li-th beacon.
+func (n *Network) AddStationListenInterval(mode station.Mode, openPorts []uint16, li int) (*station.Station, error) {
+	idx := len(n.entries) + 1
+	if idx > int(dot11.MaxAID) {
+		return nil, fmt.Errorf("core: association space exhausted")
+	}
+	addr := dot11.MACAddr{0x02, 0x1d, 0xe0, 0x01, byte(idx >> 8), byte(idx)}
+	st := station.New(n.Engine, n.Medium, station.Config{
+		Addr:           addr,
+		BSSID:          n.BSSID,
+		Mode:           mode,
+		ListenInterval: li,
+	})
+	for _, p := range openPorts {
+		st.OpenPort(p)
+	}
+	st.StartAssociation(n.SSID)
+	n.entries = append(n.entries, netEntry{st: st, addr: addr, mode: mode})
+	return st, nil
+}

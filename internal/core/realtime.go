@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/netmedium"
+	"repro/internal/trace"
+)
+
+// This file pins the virtual-time simulation to the wall clock and
+// exposes it over the network: taps subscribe for a monitor-mode frame
+// stream and can inject broadcast traffic into the AP while the
+// simulation runs — the live-observability surface of the simulator.
+
+// Monitor couples a Network to a netmedium server.
+type Monitor struct {
+	Server *netmedium.Server
+
+	mu      sync.Mutex
+	pending []netmedium.InjectRequest
+	served  chan struct{}
+}
+
+// ServeMonitor starts a monitor/inject service on pc. Every frame on
+// the medium streams to subscribers; inject requests are applied at
+// the next simulation step. The returned Monitor's Close stops the
+// service.
+func (n *Network) ServeMonitor(pc net.PacketConn) *Monitor {
+	m := &Monitor{served: make(chan struct{})}
+	m.Server = netmedium.NewServer(pc, func(req netmedium.InjectRequest) {
+		m.mu.Lock()
+		m.pending = append(m.pending, req)
+		m.mu.Unlock()
+	})
+	n.Medium.SetTap(m.Server.Publish)
+	n.monitor = m
+	go func() {
+		defer close(m.served)
+		_ = m.Server.Serve() // returns on Close
+	}()
+	return m
+}
+
+// Close stops the monitor service and waits for its goroutine.
+func (m *Monitor) Close() error {
+	err := m.Server.Close()
+	<-m.served
+	return err
+}
+
+// drainInto applies pending inject requests to the AP.
+func (m *Monitor) drainInto(n *Network) {
+	m.mu.Lock()
+	reqs := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, r := range reqs {
+		n.AP.EnqueueGroup(dot11.UDPDatagram{
+			DstIP:   [4]byte{255, 255, 255, 255},
+			DstPort: r.DstPort,
+			Payload: make([]byte, int(r.PayloadSize)),
+		}, dot11.Rate1Mbps)
+	}
+}
+
+// ReplayRealtime replays the trace paced to the wall clock: one second
+// of virtual time takes 1/speed wall seconds. Pending monitor injects
+// are applied between simulation steps. The context cancels the run
+// early.
+func (n *Network) ReplayRealtime(ctx context.Context, tr *trace.Trace, speed float64) error {
+	if speed <= 0 {
+		return fmt.Errorf("core: non-positive realtime speed %v", speed)
+	}
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	n.AP.Start()
+	for _, f := range tr.Frames {
+		f := f
+		payload := f.Length - dot11.MACHeaderLen - dot11.UDPEncapsLen
+		if payload < 0 {
+			payload = 0
+		}
+		if _, err := n.Engine.ScheduleAt(f.At, func(time.Duration) {
+			n.AP.EnqueueGroup(dot11.UDPDatagram{
+				DstIP:   [4]byte{255, 255, 255, 255},
+				DstPort: f.DstPort,
+				Payload: make([]byte, payload),
+			}, f.Rate)
+		}); err != nil {
+			return fmt.Errorf("core: scheduling trace frame: %w", err)
+		}
+	}
+	end := tr.Duration + dot11.DefaultBeaconInterval
+
+	// minSleep bounds timer churn: virtual gaps shorter than this (in
+	// wall time) dispatch immediately.
+	const minSleep = 200 * time.Microsecond
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if n.monitor != nil {
+			n.monitor.drainInto(n)
+		}
+		next, ok := n.Engine.NextEventAt()
+		if !ok || next > end {
+			break
+		}
+		if gap := next - n.Engine.Now(); gap > 0 {
+			wall := time.Duration(float64(gap) / speed)
+			if wall >= minSleep {
+				timer := time.NewTimer(wall)
+				select {
+				case <-ctx.Done():
+					timer.Stop()
+					return ctx.Err()
+				case <-timer.C:
+				}
+			}
+		}
+		n.Engine.Step()
+	}
+	n.Engine.RunUntil(end)
+	return nil
+}

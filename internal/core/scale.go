@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/station"
+	"repro/internal/trace"
+)
+
+// ScalePoint is one population size in the client-scaling experiment —
+// a question the paper leaves implicit: how do the BTIM element and
+// per-station energy behave as the HIDE population grows? The BTIM's
+// partial virtual bitmap covers the AID range in use, so its on-air
+// size grows with the population (bounded by the Figure 5 compression)
+// while each station's energy stays governed by its own traffic share.
+type ScalePoint struct {
+	// N is the number of associated HIDE stations.
+	N int
+	// BTIMBytesPerBeacon is the average BTIM element length on air.
+	BTIMBytesPerBeacon float64
+	// PortMsgsReceived counts UDP Port Messages the AP processed.
+	PortMsgsReceived int
+	// MeanStationJ is the mean per-station energy (Section IV model).
+	MeanStationJ float64
+	// MeanUseful is the mean number of useful frames per station.
+	MeanUseful float64
+}
+
+// ScaleClients replays the trace against populations of HIDE stations.
+// Station i listens on a port drawn round-robin from the trace's port
+// set, so usefulness is spread across the population.
+func ScaleClients(tr *trace.Trace, dev energy.Profile, sizes []int) ([]ScalePoint, error) {
+	hist := tr.PortHistogram()
+	var ports []uint16
+	for p := range hist {
+		ports = append(ports, p)
+	}
+	if len(ports) == 0 {
+		return nil, fmt.Errorf("core: trace has no ports to assign")
+	}
+	// Deterministic order.
+	for i := 1; i < len(ports); i++ {
+		for j := i; j > 0 && ports[j-1] > ports[j]; j-- {
+			ports[j-1], ports[j] = ports[j], ports[j-1]
+		}
+	}
+
+	var out []ScalePoint
+	for _, n := range sizes {
+		if n < 1 {
+			return nil, fmt.Errorf("core: population %d < 1", n)
+		}
+		net, err := NewNetwork(NetworkConfig{HIDE: true})
+		if err != nil {
+			return nil, err
+		}
+		sts := make([]*station.Station, 0, n)
+		for i := 0; i < n; i++ {
+			st, err := net.AddStation(station.HIDE, []uint16{ports[i%len(ports)]})
+			if err != nil {
+				return nil, err
+			}
+			sts = append(sts, st)
+		}
+		if err := net.Replay(tr); err != nil {
+			return nil, err
+		}
+
+		pt := ScalePoint{N: n, PortMsgsReceived: net.AP.Stats().PortMsgsReceived}
+		if beacons := net.AP.Stats().BeaconsSent; beacons > 0 {
+			pt.BTIMBytesPerBeacon = float64(net.AP.Stats().BTIMBytesSent) / float64(beacons)
+		}
+		var sumJ, sumUseful float64
+		for _, st := range sts {
+			b, err := net.StationEnergy(st, dev, tr.Duration, true)
+			if err != nil {
+				return nil, err
+			}
+			sumJ += b.TotalJ()
+			sumUseful += float64(st.Stats().GroupUseful)
+		}
+		pt.MeanStationJ = sumJ / float64(n)
+		pt.MeanUseful = sumUseful / float64(n)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// defaultScaleTrace builds a short dense trace for scaling runs.
+func defaultScaleTrace() (*trace.Trace, error) {
+	cfg := trace.ScenarioConfig(trace.WRL)
+	cfg.Duration = 2 * time.Minute
+	return trace.Generate(cfg)
+}
+
+// DefaultScaleClients runs the scaling experiment on a standard short
+// trace with populations 1, 5, 15, 40.
+func DefaultScaleClients(dev energy.Profile) ([]ScalePoint, error) {
+	tr, err := defaultScaleTrace()
+	if err != nil {
+		return nil, err
+	}
+	return ScaleClients(tr, dev, []int{1, 5, 15, 40})
+}

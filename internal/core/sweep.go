@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/energy"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// SeedSweep quantifies how robust the headline results are to the
+// randomness in usefulness tagging: it evaluates HIDE and receive-all
+// over the same trace with several tagging seeds and aggregates the
+// savings. The paper reports point estimates from fixed traces; the
+// sweep shows the estimates are not seed artifacts.
+type SeedSweep struct {
+	Trace          string
+	Device         string
+	UsefulFraction float64
+	Seeds          int
+	// MeanSaving, MinSaving, MaxSaving, StdDev summarize HIDE's saving
+	// versus receive-all across seeds.
+	MeanSaving float64
+	MinSaving  float64
+	MaxSaving  float64
+	StdDev     float64
+}
+
+// SweepSeeds evaluates HIDE's saving across tagging seeds.
+func SweepSeeds(tr *trace.Trace, dev energy.Profile, fraction float64, seeds []uint64) (SeedSweep, error) {
+	out := SeedSweep{
+		Trace: tr.Name, Device: dev.Name,
+		UsefulFraction: fraction, Seeds: len(seeds),
+		MinSaving: math.Inf(1), MaxSaving: math.Inf(-1),
+	}
+	var sum, sumSq float64
+	for _, seed := range seeds {
+		opts := Options{Seed: seed}
+		ra, err := EvaluateFraction(tr, fraction, dev, policy.ReceiveAll, opts)
+		if err != nil {
+			return out, err
+		}
+		hd, err := EvaluateFraction(tr, fraction, dev, policy.HIDE, opts)
+		if err != nil {
+			return out, err
+		}
+		saving := 1 - hd.Breakdown.TotalJ()/ra.Breakdown.TotalJ()
+		sum += saving
+		sumSq += saving * saving
+		if saving < out.MinSaving {
+			out.MinSaving = saving
+		}
+		if saving > out.MaxSaving {
+			out.MaxSaving = saving
+		}
+	}
+	n := float64(len(seeds))
+	if n > 0 {
+		out.MeanSaving = sum / n
+		variance := sumSq/n - out.MeanSaving*out.MeanSaving
+		if variance < 0 {
+			variance = 0
+		}
+		out.StdDev = math.Sqrt(variance)
+	}
+	return out, nil
+}
+
+// DefaultSweepSeeds is a small deterministic seed set.
+var DefaultSweepSeeds = []uint64{1, 7, 42, 1001, 0xdeadbeef}

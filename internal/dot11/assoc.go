@@ -1,0 +1,177 @@
+package dot11
+
+import "fmt"
+
+// Association management frames. HIDE piggybacks on the standard
+// association exchange: a HIDE-capable station includes an Open UDP
+// Ports element in its association request, which both declares BTIM
+// support and seeds the AP's Client UDP Port Table before the first
+// suspend. Legacy stations omit the element and get standard
+// treatment.
+
+// Management subtypes for the association exchange.
+const (
+	SubtypeAssocRequest  uint8 = 0b0000
+	SubtypeAssocResponse uint8 = 0b0001
+)
+
+// Association status codes (802.11 table 8-37 subset).
+const (
+	StatusSuccess         uint16 = 0
+	StatusUnspecifiedFail uint16 = 1
+	StatusAPFull          uint16 = 17
+)
+
+// AssocRequest is an association request. Ports being non-nil marks
+// the station HIDE-capable (a zero-length open set is expressed as a
+// present, empty element).
+type AssocRequest struct {
+	Header     MACHeader
+	Capability uint16
+	SSID       string
+	// Ports is the initial open UDP port set; nil means the station is
+	// a legacy (non-HIDE) client.
+	Ports []uint16
+	// HIDECapable marks the station as understanding BTIM elements.
+	// Set implicitly when Ports is non-nil.
+	HIDECapable bool
+}
+
+// assocReqFixedLen is capability (2) + listen interval (2).
+const assocReqFixedLen = 4
+
+// Marshal encodes the association request.
+func (r *AssocRequest) Marshal() ([]byte, error) {
+	hdr := r.Header
+	hdr.FC.Type = TypeManagement
+	hdr.FC.Subtype = SubtypeAssocRequest
+	out := make([]byte, MACHeaderLen+assocReqFixedLen, MACHeaderLen+assocReqFixedLen+32)
+	hdr.marshalInto(out)
+	putUint16(out[MACHeaderLen:], r.Capability)
+	var err error
+	if out, err = (Element{ID: ElementIDSSID, Body: []byte(r.SSID)}).AppendTo(out); err != nil {
+		return nil, err
+	}
+	if r.HIDECapable || r.Ports != nil {
+		ports := r.Ports
+		for {
+			n := len(ports)
+			if n > MaxPortsPerElement {
+				n = MaxPortsPerElement
+			}
+			e, err := OpenUDPPorts{Ports: ports[:n]}.Element()
+			if err != nil {
+				return nil, err
+			}
+			if out, err = e.AppendTo(out); err != nil {
+				return nil, err
+			}
+			ports = ports[n:]
+			if len(ports) == 0 {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalAssocRequest decodes an association request.
+func UnmarshalAssocRequest(raw []byte) (*AssocRequest, error) {
+	hdr, err := unmarshalMACHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.FC.Type != TypeManagement || hdr.FC.Subtype != SubtypeAssocRequest {
+		return nil, fmt.Errorf("%w: %v/%d, want assoc request", ErrBadFrameType, hdr.FC.Type, hdr.FC.Subtype)
+	}
+	if len(raw) < MACHeaderLen+assocReqFixedLen {
+		return nil, fmt.Errorf("%w: %d bytes for assoc request", ErrShortFrame, len(raw))
+	}
+	r := &AssocRequest{Header: hdr, Capability: getUint16(raw[MACHeaderLen:])}
+	elems, err := ParseElements(raw[MACHeaderLen+assocReqFixedLen:])
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range elems {
+		switch e.ID {
+		case ElementIDSSID:
+			r.SSID = string(e.Body)
+		case ElementIDOpenUDPPorts:
+			o, err := ParseOpenUDPPorts(e)
+			if err != nil {
+				return nil, err
+			}
+			r.HIDECapable = true
+			if r.Ports == nil {
+				r.Ports = []uint16{}
+			}
+			r.Ports = append(r.Ports, o.Ports...)
+		}
+	}
+	return r, nil
+}
+
+// AssocResponse is an association response.
+type AssocResponse struct {
+	Header     MACHeader
+	Capability uint16
+	Status     uint16
+	AID        AID
+	// HIDESupported tells the station the AP will send BTIM elements.
+	HIDESupported bool
+}
+
+// assocRespFixedLen is capability (2) + status (2) + AID (2).
+const assocRespFixedLen = 6
+
+// hideSupportElementID flags AP-side HIDE support in the response.
+const hideSupportElementID uint8 = 202
+
+// Marshal encodes the association response.
+func (r *AssocResponse) Marshal() ([]byte, error) {
+	hdr := r.Header
+	hdr.FC.Type = TypeManagement
+	hdr.FC.Subtype = SubtypeAssocResponse
+	out := make([]byte, MACHeaderLen+assocRespFixedLen, MACHeaderLen+assocRespFixedLen+4)
+	hdr.marshalInto(out)
+	p := out[MACHeaderLen:]
+	putUint16(p, r.Capability)
+	putUint16(p[2:], r.Status)
+	putUint16(p[4:], uint16(r.AID)|0xc000)
+	if r.HIDESupported {
+		var err error
+		if out, err = (Element{ID: hideSupportElementID}).AppendTo(out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalAssocResponse decodes an association response.
+func UnmarshalAssocResponse(raw []byte) (*AssocResponse, error) {
+	hdr, err := unmarshalMACHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.FC.Type != TypeManagement || hdr.FC.Subtype != SubtypeAssocResponse {
+		return nil, fmt.Errorf("%w: %v/%d, want assoc response", ErrBadFrameType, hdr.FC.Type, hdr.FC.Subtype)
+	}
+	if len(raw) < MACHeaderLen+assocRespFixedLen {
+		return nil, fmt.Errorf("%w: %d bytes for assoc response", ErrShortFrame, len(raw))
+	}
+	p := raw[MACHeaderLen:]
+	r := &AssocResponse{
+		Header:     hdr,
+		Capability: getUint16(p),
+		Status:     getUint16(p[2:]),
+		AID:        AID(getUint16(p[4:]) &^ 0xc000),
+	}
+	elems, err := ParseElements(p[assocRespFixedLen:])
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := FindElement(elems, hideSupportElementID); ok {
+		r.HIDESupported = true
+	}
+	return r, nil
+}

@@ -1,0 +1,173 @@
+package dot11
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAssocRequestRoundTrip(t *testing.T) {
+	req := &AssocRequest{
+		Header:      MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr, Seq: 5 << 4},
+		Capability:  0x0431,
+		SSID:        "hide-net",
+		HIDECapable: true,
+		Ports:       []uint16{53, 5353, 17500},
+	}
+	raw, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Classify(raw) != KindAssocRequest {
+		t.Fatalf("Classify = %v", Classify(raw))
+	}
+	got, err := UnmarshalAssocRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SSID != req.SSID || got.Capability != req.Capability {
+		t.Errorf("fixed fields: %+v", got)
+	}
+	if !got.HIDECapable {
+		t.Error("HIDE capability lost")
+	}
+	if len(got.Ports) != 3 || got.Ports[1] != 5353 {
+		t.Errorf("ports = %v", got.Ports)
+	}
+}
+
+func TestAssocRequestLegacy(t *testing.T) {
+	req := &AssocRequest{
+		Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr},
+		SSID:   "net",
+	}
+	raw, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAssocRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HIDECapable || got.Ports != nil {
+		t.Errorf("legacy request decoded as HIDE: %+v", got)
+	}
+}
+
+func TestAssocRequestEmptyPortSetStillHIDE(t *testing.T) {
+	// A HIDE station with no open ports still declares capability via
+	// a present, empty element.
+	req := &AssocRequest{
+		Header:      MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr},
+		HIDECapable: true,
+	}
+	raw, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAssocRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HIDECapable {
+		t.Error("empty-port HIDE request decoded as legacy")
+	}
+	if len(got.Ports) != 0 {
+		t.Errorf("ports = %v, want empty", got.Ports)
+	}
+}
+
+func TestAssocResponseRoundTrip(t *testing.T) {
+	resp := &AssocResponse{
+		Header:        MACHeader{Addr1: c1Addr, Addr2: apAddr, Addr3: apAddr},
+		Capability:    0x0401,
+		Status:        StatusSuccess,
+		AID:           1234,
+		HIDESupported: true,
+	}
+	raw, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Classify(raw) != KindAssocResponse {
+		t.Fatalf("Classify = %v", Classify(raw))
+	}
+	got, err := UnmarshalAssocResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AID != 1234 || got.Status != StatusSuccess || !got.HIDESupported {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestAssocResponseFailureStatus(t *testing.T) {
+	resp := &AssocResponse{
+		Header: MACHeader{Addr1: c1Addr, Addr2: apAddr, Addr3: apAddr},
+		Status: StatusAPFull,
+	}
+	raw, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAssocResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusAPFull || got.HIDESupported {
+		t.Errorf("failure response: %+v", got)
+	}
+}
+
+func TestAssocWrongTypeRejected(t *testing.T) {
+	resp := &AssocResponse{Header: MACHeader{Addr1: c1Addr, Addr2: apAddr, Addr3: apAddr}}
+	raw, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalAssocRequest(raw); err == nil {
+		t.Error("UnmarshalAssocRequest accepted a response")
+	}
+	req := &AssocRequest{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}}
+	raw2, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalAssocResponse(raw2); err == nil {
+		t.Error("UnmarshalAssocResponse accepted a request")
+	}
+}
+
+func TestAssocRequestRoundTripProperty(t *testing.T) {
+	f := func(cap uint16, ssid string, ports []uint16) bool {
+		if len(ssid) > 32 {
+			ssid = ssid[:32]
+		}
+		req := &AssocRequest{
+			Header:      MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr},
+			Capability:  cap,
+			SSID:        ssid,
+			HIDECapable: true,
+			Ports:       ports,
+		}
+		raw, err := req.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalAssocRequest(raw)
+		if err != nil {
+			return false
+		}
+		if got.SSID != ssid || got.Capability != cap || len(got.Ports) != len(ports) {
+			return false
+		}
+		for i := range ports {
+			if got.Ports[i] != ports[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

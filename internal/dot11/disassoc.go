@@ -1,0 +1,49 @@
+package dot11
+
+import "fmt"
+
+// Disassociation management frame (subtype 1010): either side ends the
+// association. The AP tears down the client's port-table entries so a
+// departed HIDE client's stale ports stop influencing Algorithm 1.
+
+// SubtypeDisassoc is the disassociation management subtype.
+const SubtypeDisassoc uint8 = 0b1010
+
+// Disassociation reason codes (802.11 table 8-36 subset).
+const (
+	ReasonUnspecified uint16 = 1
+	ReasonInactivity  uint16 = 4
+	ReasonStationLeft uint16 = 8
+)
+
+// Disassoc is a disassociation frame.
+type Disassoc struct {
+	Header MACHeader
+	Reason uint16
+}
+
+// Marshal encodes the disassociation frame.
+func (d *Disassoc) Marshal() []byte {
+	hdr := d.Header
+	hdr.FC.Type = TypeManagement
+	hdr.FC.Subtype = SubtypeDisassoc
+	out := make([]byte, MACHeaderLen+2)
+	hdr.marshalInto(out)
+	putUint16(out[MACHeaderLen:], d.Reason)
+	return out
+}
+
+// UnmarshalDisassoc decodes a disassociation frame.
+func UnmarshalDisassoc(raw []byte) (*Disassoc, error) {
+	hdr, err := unmarshalMACHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.FC.Type != TypeManagement || hdr.FC.Subtype != SubtypeDisassoc {
+		return nil, fmt.Errorf("%w: %v/%d, want disassociation", ErrBadFrameType, hdr.FC.Type, hdr.FC.Subtype)
+	}
+	if len(raw) < MACHeaderLen+2 {
+		return nil, fmt.Errorf("%w: %d bytes for disassociation", ErrShortFrame, len(raw))
+	}
+	return &Disassoc{Header: hdr, Reason: getUint16(raw[MACHeaderLen:])}, nil
+}

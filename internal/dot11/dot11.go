@@ -1,0 +1,223 @@
+// Package dot11 models the subset of IEEE 802.11 needed by the HIDE
+// system: MAC addressing, frame control, management/data/control frames,
+// the standard TIM information element, and the two elements HIDE adds
+// to the protocol — the Open UDP Ports element (ID 200) carried in UDP
+// Port Messages and the Broadcast Traffic Indication Map (BTIM, ID 201)
+// carried in beacons.
+//
+// Frames marshal to and from wire format ([]byte) so the simulated AP
+// and stations exchange real encoded frames rather than Go structs,
+// and frame lengths feed the airtime and energy models directly.
+// Multi-byte fields are little-endian, matching 802.11 conventions.
+package dot11
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MACAddr is a 48-bit IEEE 802 MAC address.
+type MACAddr [6]byte
+
+// Broadcast is the all-ones broadcast destination address.
+var Broadcast = MACAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String formats the address in the conventional colon-separated form.
+func (a MACAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IsBroadcast reports whether the address is the broadcast address.
+func (a MACAddr) IsBroadcast() bool { return a == Broadcast }
+
+// IsMulticast reports whether the group bit is set (includes broadcast).
+func (a MACAddr) IsMulticast() bool { return a[0]&0x01 != 0 }
+
+// AID is an 802.11 Association ID assigned by an AP to a client.
+// Valid AIDs are 1..2007; 0 is reserved (and used by the TIM bitmap's
+// broadcast bit position).
+type AID uint16
+
+// MaxAID is the largest valid association ID (802.11-2012 §8.4.1.8).
+const MaxAID AID = 2007
+
+// Valid reports whether the AID is in the assignable range.
+func (a AID) Valid() bool { return a >= 1 && a <= MaxAID }
+
+// FrameType is the 2-bit Type field of the Frame Control field.
+type FrameType uint8
+
+// Frame types.
+const (
+	TypeManagement FrameType = 0
+	TypeControl    FrameType = 1
+	TypeData       FrameType = 2
+)
+
+// String returns the conventional name of the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case TypeManagement:
+		return "management"
+	case TypeControl:
+		return "control"
+	case TypeData:
+		return "data"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Management frame subtypes used by this package.
+const (
+	SubtypeBeacon uint8 = 0b1000
+	// SubtypeUDPPortMessage is the reserved management subtype (1111)
+	// that HIDE assigns to the UDP Port Message (paper Figure 3).
+	SubtypeUDPPortMessage uint8 = 0b1111
+)
+
+// Control frame subtypes used by this package.
+const (
+	SubtypePSPoll uint8 = 0b1010
+	SubtypeACK    uint8 = 0b1101
+)
+
+// Data frame subtypes used by this package.
+const (
+	SubtypeData uint8 = 0b0000
+)
+
+// Information element IDs.
+const (
+	ElementIDSSID uint8 = 0
+	ElementIDTIM  uint8 = 5
+	// ElementIDOpenUDPPorts is the reserved element ID (200) HIDE
+	// assigns to the Open UDP Ports element (paper §III-B).
+	ElementIDOpenUDPPorts uint8 = 200
+	// ElementIDBTIM is the reserved element ID (201) HIDE assigns to
+	// the Broadcast Traffic Indication Map element (paper §III-D).
+	ElementIDBTIM uint8 = 201
+)
+
+// Sizes of fixed wire structures in bytes.
+const (
+	// MACHeaderLen is the length of the 3-address MAC header used by
+	// management and data frames here: Frame Control (2) + Duration (2)
+	// + 3 addresses (18) + Sequence Control (2) = 24 bytes, i.e. the
+	// 224 bits of Table II.
+	MACHeaderLen = 24
+	// ACKFrameLen is the length of an ACK control frame: Frame Control
+	// (2) + Duration (2) + RA (6) + FCS (4).
+	ACKFrameLen = 14
+	// PSPollFrameLen is the length of a PS-Poll control frame: Frame
+	// Control (2) + AID (2) + BSSID (6) + TA (6) + FCS (4).
+	PSPollFrameLen = 20
+	// FCSLen is the length of the frame check sequence. The simulator
+	// accounts for it in airtime but does not append it to marshalled
+	// bytes (frames are delivered intact or not at all).
+	FCSLen = 4
+)
+
+// Common errors returned by frame and element decoders.
+var (
+	ErrShortFrame     = errors.New("dot11: frame too short")
+	ErrBadFrameType   = errors.New("dot11: unexpected frame type/subtype")
+	ErrElementTooLong = errors.New("dot11: information element exceeds 255 bytes")
+	ErrBadElement     = errors.New("dot11: malformed information element")
+)
+
+// FrameControl is the 16-bit Frame Control field. Only the fields the
+// HIDE system needs are modelled.
+type FrameControl struct {
+	Type     FrameType
+	Subtype  uint8
+	ToDS     bool
+	FromDS   bool
+	MoreData bool // AP: more buffered frames follow (paper Eq. 10's d_more)
+	PwrMgmt  bool // station: entering power-save mode
+	Retry    bool
+}
+
+// Marshal encodes the frame control field into two bytes.
+func (fc FrameControl) Marshal() [2]byte {
+	var b [2]byte
+	b[0] = byte(fc.Type)<<2 | fc.Subtype<<4 // protocol version 0
+	if fc.ToDS {
+		b[1] |= 0x01
+	}
+	if fc.FromDS {
+		b[1] |= 0x02
+	}
+	if fc.Retry {
+		b[1] |= 0x08
+	}
+	if fc.PwrMgmt {
+		b[1] |= 0x10
+	}
+	if fc.MoreData {
+		b[1] |= 0x20
+	}
+	return b
+}
+
+// UnmarshalFrameControl decodes a frame control field.
+func UnmarshalFrameControl(b [2]byte) FrameControl {
+	return FrameControl{
+		Type:     FrameType(b[0] >> 2 & 0x03),
+		Subtype:  b[0] >> 4,
+		ToDS:     b[1]&0x01 != 0,
+		FromDS:   b[1]&0x02 != 0,
+		Retry:    b[1]&0x08 != 0,
+		PwrMgmt:  b[1]&0x10 != 0,
+		MoreData: b[1]&0x20 != 0,
+	}
+}
+
+// MACHeader is the 3-address MAC header shared by management and data
+// frames in an infrastructure BSS.
+type MACHeader struct {
+	FC       FrameControl
+	Duration uint16
+	Addr1    MACAddr // receiver / destination
+	Addr2    MACAddr // transmitter / source
+	Addr3    MACAddr // BSSID (or DA/SA depending on ToDS/FromDS)
+	Seq      uint16  // sequence control (seq<<4 | frag)
+}
+
+// marshalInto writes the header into b, which must have room for
+// MACHeaderLen bytes.
+func (h *MACHeader) marshalInto(b []byte) {
+	fc := h.FC.Marshal()
+	b[0], b[1] = fc[0], fc[1]
+	putUint16(b[2:], h.Duration)
+	copy(b[4:], h.Addr1[:])
+	copy(b[10:], h.Addr2[:])
+	copy(b[16:], h.Addr3[:])
+	putUint16(b[22:], h.Seq)
+}
+
+// unmarshalMACHeader decodes a MAC header from the front of b.
+func unmarshalMACHeader(b []byte) (MACHeader, error) {
+	if len(b) < MACHeaderLen {
+		return MACHeader{}, fmt.Errorf("%w: %d bytes for MAC header", ErrShortFrame, len(b))
+	}
+	var h MACHeader
+	h.FC = UnmarshalFrameControl([2]byte{b[0], b[1]})
+	h.Duration = getUint16(b[2:])
+	copy(h.Addr1[:], b[4:])
+	copy(h.Addr2[:], b[10:])
+	copy(h.Addr3[:], b[16:])
+	h.Seq = getUint16(b[22:])
+	return h, nil
+}
+
+// putUint16 writes v little-endian.
+func putUint16(b []byte, v uint16) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+}
+
+// getUint16 reads a little-endian uint16.
+func getUint16(b []byte) uint16 {
+	return uint16(b[0]) | uint16(b[1])<<8
+}

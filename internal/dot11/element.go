@@ -1,0 +1,209 @@
+package dot11
+
+import "fmt"
+
+// Element is a generic 802.11 information element: a one-byte ID, a
+// one-byte length, and up to 255 bytes of body.
+type Element struct {
+	ID   uint8
+	Body []byte
+}
+
+// WireLen returns the encoded length of the element in bytes.
+func (e Element) WireLen() int { return 2 + len(e.Body) }
+
+// AppendTo appends the encoded element to b and returns the extended
+// slice. It returns an error if the body exceeds 255 bytes.
+func (e Element) AppendTo(b []byte) ([]byte, error) {
+	if len(e.Body) > 255 {
+		return nil, fmt.Errorf("%w: id=%d len=%d", ErrElementTooLong, e.ID, len(e.Body))
+	}
+	b = append(b, e.ID, uint8(len(e.Body)))
+	return append(b, e.Body...), nil
+}
+
+// ParseElements splits a concatenated information-element blob into
+// individual elements. Bodies alias the input slice.
+func ParseElements(b []byte) ([]Element, error) {
+	var out []Element
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("%w: trailing %d bytes", ErrBadElement, len(b))
+		}
+		id, n := b[0], int(b[1])
+		if len(b) < 2+n {
+			return nil, fmt.Errorf("%w: element id=%d declares %d bytes, %d remain", ErrBadElement, id, n, len(b)-2)
+		}
+		out = append(out, Element{ID: id, Body: b[2 : 2+n]})
+		b = b[2+n:]
+	}
+	return out, nil
+}
+
+// FindElement returns the first element with the given ID, or false.
+func FindElement(elems []Element, id uint8) (Element, bool) {
+	for _, e := range elems {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Element{}, false
+}
+
+// TIM is the standard Traffic Indication Map element (Figure 1). The
+// DTIM Count is the number of beacons before the next DTIM (zero in a
+// DTIM beacon); the DTIM Period is in beacon intervals. Bit 0 of the
+// Bitmap Control field indicates buffered broadcast/multicast traffic;
+// bits 1..7 carry the bitmap offset in units of two octets. The partial
+// virtual bitmap carries per-AID unicast indications.
+type TIM struct {
+	DTIMCount     uint8
+	DTIMPeriod    uint8
+	Broadcast     bool // Bitmap Control bit 0: group traffic buffered
+	BitmapOffset  uint8
+	PartialBitmap []byte
+}
+
+// Element encodes the TIM as an information element.
+func (t TIM) Element() (Element, error) {
+	if t.BitmapOffset%2 != 0 {
+		return Element{}, fmt.Errorf("%w: TIM bitmap offset %d is odd", ErrBadElement, t.BitmapOffset)
+	}
+	pm := t.PartialBitmap
+	if len(pm) == 0 {
+		pm = []byte{0}
+	}
+	body := make([]byte, 0, 3+len(pm))
+	ctl := t.BitmapOffset / 2 << 1
+	if t.Broadcast {
+		ctl |= 0x01
+	}
+	body = append(body, t.DTIMCount, t.DTIMPeriod, ctl)
+	body = append(body, pm...)
+	return Element{ID: ElementIDTIM, Body: body}, nil
+}
+
+// ParseTIM decodes a TIM element body.
+func ParseTIM(e Element) (TIM, error) {
+	if e.ID != ElementIDTIM {
+		return TIM{}, fmt.Errorf("%w: element id %d is not TIM", ErrBadElement, e.ID)
+	}
+	if len(e.Body) < 4 {
+		return TIM{}, fmt.Errorf("%w: TIM body %d bytes", ErrBadElement, len(e.Body))
+	}
+	t := TIM{
+		DTIMCount:    e.Body[0],
+		DTIMPeriod:   e.Body[1],
+		Broadcast:    e.Body[2]&0x01 != 0,
+		BitmapOffset: e.Body[2] >> 1 << 1,
+	}
+	t.PartialBitmap = append([]byte(nil), e.Body[3:]...)
+	return t, nil
+}
+
+// UnicastBuffered reports whether the TIM indicates buffered unicast
+// traffic for aid.
+func (t TIM) UnicastBuffered(aid AID) bool {
+	v, err := Decompress(t.BitmapOffset, t.PartialBitmap)
+	if err != nil {
+		return false
+	}
+	return v.Get(aid)
+}
+
+// BTIM is the Broadcast Traffic Indication Map element HIDE adds to
+// beacon frames (Figure 4, element ID 201). Each bit of the partial
+// virtual bitmap corresponds to a client AID and indicates useful
+// broadcast frames buffered at the AP for that client. The Offset field
+// is the byte index of the first octet included in the partial bitmap
+// (Figure 5's N1, always even).
+type BTIM struct {
+	Offset        uint8
+	PartialBitmap []byte
+}
+
+// BTIMFromBitmap compresses a full virtual bitmap into a BTIM.
+func BTIMFromBitmap(v *VirtualBitmap) BTIM {
+	off, pm := v.Compress()
+	return BTIM{Offset: off, PartialBitmap: pm}
+}
+
+// Element encodes the BTIM as an information element.
+func (b BTIM) Element() (Element, error) {
+	if b.Offset%2 != 0 {
+		return Element{}, fmt.Errorf("%w: BTIM offset %d is odd", ErrBadElement, b.Offset)
+	}
+	pm := b.PartialBitmap
+	if len(pm) == 0 {
+		pm = []byte{0}
+	}
+	body := make([]byte, 0, 1+len(pm))
+	body = append(body, b.Offset)
+	body = append(body, pm...)
+	return Element{ID: ElementIDBTIM, Body: body}, nil
+}
+
+// ParseBTIM decodes a BTIM element body.
+func ParseBTIM(e Element) (BTIM, error) {
+	if e.ID != ElementIDBTIM {
+		return BTIM{}, fmt.Errorf("%w: element id %d is not BTIM", ErrBadElement, e.ID)
+	}
+	if len(e.Body) < 2 {
+		return BTIM{}, fmt.Errorf("%w: BTIM body %d bytes", ErrBadElement, len(e.Body))
+	}
+	b := BTIM{Offset: e.Body[0]}
+	if b.Offset%2 != 0 {
+		return BTIM{}, fmt.Errorf("%w: BTIM offset %d is odd", ErrBadElement, b.Offset)
+	}
+	b.PartialBitmap = append([]byte(nil), e.Body[1:]...)
+	return b, nil
+}
+
+// UsefulBroadcastBuffered reports whether the BTIM bit for aid is set,
+// i.e. whether the AP holds broadcast frames useful to that client.
+func (b BTIM) UsefulBroadcastBuffered(aid AID) bool {
+	v, err := Decompress(b.Offset, b.PartialBitmap)
+	if err != nil {
+		return false
+	}
+	return v.Get(aid)
+}
+
+// OpenUDPPorts is the element (ID 200) carried in a UDP Port Message,
+// listing the UDP ports open on a client (paper Figure 3). Each port is
+// two bytes, so at most 127 ports fit in one element; callers with more
+// ports split them across multiple elements.
+type OpenUDPPorts struct {
+	Ports []uint16
+}
+
+// MaxPortsPerElement is the number of 2-byte ports that fit in one
+// 255-byte element body.
+const MaxPortsPerElement = 127
+
+// Element encodes the port list as an information element.
+func (o OpenUDPPorts) Element() (Element, error) {
+	if len(o.Ports) > MaxPortsPerElement {
+		return Element{}, fmt.Errorf("%w: %d ports", ErrElementTooLong, len(o.Ports))
+	}
+	body := make([]byte, 2*len(o.Ports))
+	for i, p := range o.Ports {
+		putUint16(body[2*i:], p)
+	}
+	return Element{ID: ElementIDOpenUDPPorts, Body: body}, nil
+}
+
+// ParseOpenUDPPorts decodes an Open UDP Ports element body.
+func ParseOpenUDPPorts(e Element) (OpenUDPPorts, error) {
+	if e.ID != ElementIDOpenUDPPorts {
+		return OpenUDPPorts{}, fmt.Errorf("%w: element id %d is not Open UDP Ports", ErrBadElement, e.ID)
+	}
+	if len(e.Body)%2 != 0 {
+		return OpenUDPPorts{}, fmt.Errorf("%w: odd port list length %d", ErrBadElement, len(e.Body))
+	}
+	o := OpenUDPPorts{Ports: make([]uint16, len(e.Body)/2)}
+	for i := range o.Ports {
+		o.Ports[i] = getUint16(e.Body[2*i:])
+	}
+	return o, nil
+}

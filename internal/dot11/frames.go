@@ -1,0 +1,342 @@
+package dot11
+
+import "fmt"
+
+// Beacon is an 802.11 beacon management frame carrying the fixed
+// timestamp/interval/capability fields plus information elements,
+// including the standard TIM and (on HIDE APs) the BTIM.
+type Beacon struct {
+	Header         MACHeader
+	Timestamp      uint64 // µs since AP timer start (TSF)
+	BeaconInterval uint16 // in time units (TU = 1024 µs)
+	Capability     uint16
+	SSID           string
+	TIM            *TIM
+	BTIM           *BTIM
+	Extra          []Element // any additional elements, kept in order
+}
+
+// beaconFixedLen is the length of the fixed beacon body fields:
+// timestamp (8) + beacon interval (2) + capability (2).
+const beaconFixedLen = 12
+
+// Marshal encodes the beacon into wire format.
+func (b *Beacon) Marshal() ([]byte, error) {
+	hdr := b.Header
+	hdr.FC.Type = TypeManagement
+	hdr.FC.Subtype = SubtypeBeacon
+
+	out := make([]byte, MACHeaderLen+beaconFixedLen, MACHeaderLen+beaconFixedLen+64)
+	hdr.marshalInto(out)
+	p := out[MACHeaderLen:]
+	for i := 0; i < 8; i++ {
+		p[i] = byte(b.Timestamp >> (8 * i))
+	}
+	putUint16(p[8:], b.BeaconInterval)
+	putUint16(p[10:], b.Capability)
+
+	var err error
+	if out, err = (Element{ID: ElementIDSSID, Body: []byte(b.SSID)}).AppendTo(out); err != nil {
+		return nil, err
+	}
+	if b.TIM != nil {
+		e, err := b.TIM.Element()
+		if err != nil {
+			return nil, err
+		}
+		if out, err = e.AppendTo(out); err != nil {
+			return nil, err
+		}
+	}
+	if b.BTIM != nil {
+		e, err := b.BTIM.Element()
+		if err != nil {
+			return nil, err
+		}
+		if out, err = e.AppendTo(out); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range b.Extra {
+		if out, err = e.AppendTo(out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBeacon decodes a beacon frame. Legacy receivers simply skip
+// the BTIM element they do not understand, which is what makes HIDE
+// backward compatible; this decoder surfaces both elements when present.
+func UnmarshalBeacon(raw []byte) (*Beacon, error) {
+	hdr, err := unmarshalMACHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.FC.Type != TypeManagement || hdr.FC.Subtype != SubtypeBeacon {
+		return nil, fmt.Errorf("%w: %v/%d, want beacon", ErrBadFrameType, hdr.FC.Type, hdr.FC.Subtype)
+	}
+	if len(raw) < MACHeaderLen+beaconFixedLen {
+		return nil, fmt.Errorf("%w: %d bytes for beacon body", ErrShortFrame, len(raw)-MACHeaderLen)
+	}
+	p := raw[MACHeaderLen:]
+	b := &Beacon{Header: hdr}
+	for i := 0; i < 8; i++ {
+		b.Timestamp |= uint64(p[i]) << (8 * i)
+	}
+	b.BeaconInterval = getUint16(p[8:])
+	b.Capability = getUint16(p[10:])
+
+	elems, err := ParseElements(p[beaconFixedLen:])
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range elems {
+		switch e.ID {
+		case ElementIDSSID:
+			b.SSID = string(e.Body)
+		case ElementIDTIM:
+			tim, err := ParseTIM(e)
+			if err != nil {
+				return nil, err
+			}
+			b.TIM = &tim
+		case ElementIDBTIM:
+			btim, err := ParseBTIM(e)
+			if err != nil {
+				return nil, err
+			}
+			b.BTIM = &btim
+		default:
+			b.Extra = append(b.Extra, Element{ID: e.ID, Body: append([]byte(nil), e.Body...)})
+		}
+	}
+	return b, nil
+}
+
+// UDPPortMessage is the HIDE management frame (type 00, subtype 1111)
+// a client sends to the AP right before entering suspend mode,
+// reporting the UDP ports open on the client (paper Figure 3). Ports
+// beyond 127 are split across multiple Open UDP Ports elements.
+type UDPPortMessage struct {
+	Header MACHeader
+	Ports  []uint16
+}
+
+// Marshal encodes the UDP Port Message into wire format.
+func (m *UDPPortMessage) Marshal() ([]byte, error) {
+	hdr := m.Header
+	hdr.FC.Type = TypeManagement
+	hdr.FC.Subtype = SubtypeUDPPortMessage
+
+	out := make([]byte, MACHeaderLen, MACHeaderLen+2+2*len(m.Ports))
+	hdr.marshalInto(out)
+	ports := m.Ports
+	for {
+		n := len(ports)
+		if n > MaxPortsPerElement {
+			n = MaxPortsPerElement
+		}
+		e, err := OpenUDPPorts{Ports: ports[:n]}.Element()
+		if err != nil {
+			return nil, err
+		}
+		if out, err = e.AppendTo(out); err != nil {
+			return nil, err
+		}
+		ports = ports[n:]
+		if len(ports) == 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalUDPPortMessage decodes a UDP Port Message frame.
+func UnmarshalUDPPortMessage(raw []byte) (*UDPPortMessage, error) {
+	hdr, err := unmarshalMACHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.FC.Type != TypeManagement || hdr.FC.Subtype != SubtypeUDPPortMessage {
+		return nil, fmt.Errorf("%w: %v/%d, want UDP port message", ErrBadFrameType, hdr.FC.Type, hdr.FC.Subtype)
+	}
+	elems, err := ParseElements(raw[MACHeaderLen:])
+	if err != nil {
+		return nil, err
+	}
+	m := &UDPPortMessage{Header: hdr}
+	for _, e := range elems {
+		if e.ID != ElementIDOpenUDPPorts {
+			continue
+		}
+		o, err := ParseOpenUDPPorts(e)
+		if err != nil {
+			return nil, err
+		}
+		m.Ports = append(m.Ports, o.Ports...)
+	}
+	return m, nil
+}
+
+// ACK is an 802.11 ACK control frame.
+type ACK struct {
+	RA MACAddr // receiver address
+}
+
+// Marshal encodes the ACK into wire format (without FCS).
+func (a *ACK) Marshal() []byte {
+	out := make([]byte, ACKFrameLen-FCSLen)
+	fc := FrameControl{Type: TypeControl, Subtype: SubtypeACK}.Marshal()
+	out[0], out[1] = fc[0], fc[1]
+	copy(out[4:], a.RA[:])
+	return out
+}
+
+// UnmarshalACK decodes an ACK control frame.
+func UnmarshalACK(raw []byte) (*ACK, error) {
+	if len(raw) < ACKFrameLen-FCSLen {
+		return nil, fmt.Errorf("%w: %d bytes for ACK", ErrShortFrame, len(raw))
+	}
+	fc := UnmarshalFrameControl([2]byte{raw[0], raw[1]})
+	if fc.Type != TypeControl || fc.Subtype != SubtypeACK {
+		return nil, fmt.Errorf("%w: %v/%d, want ACK", ErrBadFrameType, fc.Type, fc.Subtype)
+	}
+	a := &ACK{}
+	copy(a.RA[:], raw[4:])
+	return a, nil
+}
+
+// PSPoll is the Power Save Poll control frame a station in PS mode
+// sends to retrieve one buffered unicast frame from the AP.
+type PSPoll struct {
+	AID   AID
+	BSSID MACAddr
+	TA    MACAddr // transmitting station
+}
+
+// Marshal encodes the PS-Poll into wire format (without FCS).
+func (p *PSPoll) Marshal() []byte {
+	out := make([]byte, PSPollFrameLen-FCSLen)
+	fc := FrameControl{Type: TypeControl, Subtype: SubtypePSPoll}.Marshal()
+	out[0], out[1] = fc[0], fc[1]
+	// The Duration/ID field carries the AID with the two MSBs set.
+	putUint16(out[2:], uint16(p.AID)|0xc000)
+	copy(out[4:], p.BSSID[:])
+	copy(out[10:], p.TA[:])
+	return out
+}
+
+// UnmarshalPSPoll decodes a PS-Poll control frame.
+func UnmarshalPSPoll(raw []byte) (*PSPoll, error) {
+	if len(raw) < PSPollFrameLen-FCSLen {
+		return nil, fmt.Errorf("%w: %d bytes for PS-Poll", ErrShortFrame, len(raw))
+	}
+	fc := UnmarshalFrameControl([2]byte{raw[0], raw[1]})
+	if fc.Type != TypeControl || fc.Subtype != SubtypePSPoll {
+		return nil, fmt.Errorf("%w: %v/%d, want PS-Poll", ErrBadFrameType, fc.Type, fc.Subtype)
+	}
+	p := &PSPoll{AID: AID(getUint16(raw[2:]) &^ 0xc000)}
+	copy(p.BSSID[:], raw[4:])
+	copy(p.TA[:], raw[10:])
+	return p, nil
+}
+
+// DataFrame is an 802.11 data frame whose body is an LLC/SNAP + IPv4 +
+// UDP datagram — the "UDP-padded" frames the paper manages. The MoreData
+// bit in the header signals further buffered group frames after a DTIM.
+type DataFrame struct {
+	Header  MACHeader
+	Payload []byte // LLC/SNAP + IP packet
+}
+
+// Marshal encodes the data frame into wire format.
+func (d *DataFrame) Marshal() []byte {
+	hdr := d.Header
+	hdr.FC.Type = TypeData
+	hdr.FC.Subtype = SubtypeData
+	out := make([]byte, MACHeaderLen+len(d.Payload))
+	hdr.marshalInto(out)
+	copy(out[MACHeaderLen:], d.Payload)
+	return out
+}
+
+// UnmarshalDataFrame decodes a data frame. The payload aliases raw.
+func UnmarshalDataFrame(raw []byte) (*DataFrame, error) {
+	hdr, err := unmarshalMACHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.FC.Type != TypeData {
+		return nil, fmt.Errorf("%w: %v, want data", ErrBadFrameType, hdr.FC.Type)
+	}
+	return &DataFrame{Header: hdr, Payload: raw[MACHeaderLen:]}, nil
+}
+
+// FrameKind classifies a raw frame without fully decoding it.
+type FrameKind uint8
+
+// Frame kinds returned by Classify.
+const (
+	KindUnknown FrameKind = iota
+	KindBeacon
+	KindUDPPortMessage
+	KindACK
+	KindPSPoll
+	KindData
+	KindAssocRequest
+	KindAssocResponse
+	KindDisassoc
+)
+
+// String returns the name of the frame kind.
+func (k FrameKind) String() string {
+	switch k {
+	case KindBeacon:
+		return "beacon"
+	case KindUDPPortMessage:
+		return "udp-port-message"
+	case KindACK:
+		return "ack"
+	case KindPSPoll:
+		return "ps-poll"
+	case KindData:
+		return "data"
+	case KindAssocRequest:
+		return "assoc-request"
+	case KindAssocResponse:
+		return "assoc-response"
+	case KindDisassoc:
+		return "disassoc"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify inspects the frame control field of a raw frame.
+func Classify(raw []byte) FrameKind {
+	if len(raw) < 2 {
+		return KindUnknown
+	}
+	fc := UnmarshalFrameControl([2]byte{raw[0], raw[1]})
+	switch {
+	case fc.Type == TypeManagement && fc.Subtype == SubtypeBeacon:
+		return KindBeacon
+	case fc.Type == TypeManagement && fc.Subtype == SubtypeUDPPortMessage:
+		return KindUDPPortMessage
+	case fc.Type == TypeManagement && fc.Subtype == SubtypeAssocRequest:
+		return KindAssocRequest
+	case fc.Type == TypeManagement && fc.Subtype == SubtypeAssocResponse:
+		return KindAssocResponse
+	case fc.Type == TypeManagement && fc.Subtype == SubtypeDisassoc:
+		return KindDisassoc
+	case fc.Type == TypeControl && fc.Subtype == SubtypeACK:
+		return KindACK
+	case fc.Type == TypeControl && fc.Subtype == SubtypePSPoll:
+		return KindPSPoll
+	case fc.Type == TypeData:
+		return KindData
+	default:
+		return KindUnknown
+	}
+}

@@ -1,0 +1,450 @@
+package dot11
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	apAddr = MACAddr{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	c1Addr = MACAddr{0x02, 0x00, 0x00, 0x00, 0x00, 0x10}
+)
+
+func TestFrameControlRoundTrip(t *testing.T) {
+	cases := []FrameControl{
+		{Type: TypeManagement, Subtype: SubtypeBeacon},
+		{Type: TypeManagement, Subtype: SubtypeUDPPortMessage, Retry: true},
+		{Type: TypeControl, Subtype: SubtypeACK},
+		{Type: TypeControl, Subtype: SubtypePSPoll, PwrMgmt: true},
+		{Type: TypeData, Subtype: SubtypeData, FromDS: true, MoreData: true},
+		{Type: TypeData, Subtype: SubtypeData, ToDS: true, PwrMgmt: true, Retry: true},
+	}
+	for _, fc := range cases {
+		got := UnmarshalFrameControl(fc.Marshal())
+		if got != fc {
+			t.Errorf("frame control round trip: got %+v, want %+v", got, fc)
+		}
+	}
+}
+
+func TestFrameControlRoundTripProperty(t *testing.T) {
+	f := func(ty, st uint8, toDS, fromDS, more, pwr, retry bool) bool {
+		fc := FrameControl{
+			Type: FrameType(ty % 3), Subtype: st % 16,
+			ToDS: toDS, FromDS: fromDS, MoreData: more, PwrMgmt: pwr, Retry: retry,
+		}
+		return UnmarshalFrameControl(fc.Marshal()) == fc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeaconRoundTrip(t *testing.T) {
+	var bm VirtualBitmap
+	bm.Set(3)
+	bm.Set(17)
+	btim := BTIMFromBitmap(&bm)
+	b := &Beacon{
+		Header:         MACHeader{Addr1: Broadcast, Addr2: apAddr, Addr3: apAddr, Seq: 7 << 4},
+		Timestamp:      123456789,
+		BeaconInterval: 100,
+		Capability:     0x0401,
+		SSID:           "hide-test",
+		TIM: &TIM{
+			DTIMCount: 0, DTIMPeriod: 3, Broadcast: true,
+			BitmapOffset: 0, PartialBitmap: []byte{0x02},
+		},
+		BTIM:  &btim,
+		Extra: []Element{{ID: 42, Body: []byte{1, 2, 3}}},
+	}
+	raw, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBeacon(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Timestamp != b.Timestamp || got.BeaconInterval != b.BeaconInterval ||
+		got.Capability != b.Capability || got.SSID != b.SSID {
+		t.Errorf("fixed fields mismatch: got %+v", got)
+	}
+	if got.TIM == nil || !got.TIM.Broadcast || got.TIM.DTIMPeriod != 3 {
+		t.Errorf("TIM mismatch: %+v", got.TIM)
+	}
+	if got.BTIM == nil {
+		t.Fatal("BTIM missing after round trip")
+	}
+	for aid := AID(1); aid <= 32; aid++ {
+		want := aid == 3 || aid == 17
+		if got.BTIM.UsefulBroadcastBuffered(aid) != want {
+			t.Errorf("BTIM bit for AID %d = %v, want %v", aid, !want, want)
+		}
+	}
+	if len(got.Extra) != 1 || got.Extra[0].ID != 42 || !bytes.Equal(got.Extra[0].Body, []byte{1, 2, 3}) {
+		t.Errorf("extra elements mismatch: %+v", got.Extra)
+	}
+	if got.Header.Addr2 != apAddr {
+		t.Errorf("header source = %v, want %v", got.Header.Addr2, apAddr)
+	}
+}
+
+func TestBeaconWithoutHIDEElements(t *testing.T) {
+	b := &Beacon{
+		Header:         MACHeader{Addr1: Broadcast, Addr2: apAddr, Addr3: apAddr},
+		BeaconInterval: 100,
+		SSID:           "legacy",
+	}
+	raw, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBeacon(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TIM != nil || got.BTIM != nil {
+		t.Fatal("decoded elements that were never encoded")
+	}
+}
+
+func TestUnmarshalBeaconRejectsWrongType(t *testing.T) {
+	m := &UDPPortMessage{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}}
+	raw, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalBeacon(raw); err == nil {
+		t.Fatal("UnmarshalBeacon accepted a UDP Port Message")
+	}
+}
+
+func TestUDPPortMessageRoundTrip(t *testing.T) {
+	ports := []uint16{53, 67, 68, 137, 1900, 5353, 49152}
+	m := &UDPPortMessage{
+		Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr},
+		Ports:  ports,
+	}
+	raw, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 19: L = Lmac + 2 + 2*N for N <= 127 (PHY overhead added on air).
+	if want := MACHeaderLen + 2 + 2*len(ports); len(raw) != want {
+		t.Errorf("wire length = %d, want %d per Eq. 19", len(raw), want)
+	}
+	got, err := UnmarshalUDPPortMessage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ports) != len(ports) {
+		t.Fatalf("ports round trip: got %v, want %v", got.Ports, ports)
+	}
+	for i := range ports {
+		if got.Ports[i] != ports[i] {
+			t.Errorf("port[%d] = %d, want %d", i, got.Ports[i], ports[i])
+		}
+	}
+	if got.Header.Addr2 != c1Addr {
+		t.Errorf("source = %v, want %v", got.Header.Addr2, c1Addr)
+	}
+}
+
+func TestUDPPortMessageSplitsLargePortSets(t *testing.T) {
+	ports := make([]uint16, 300) // > 2 elements
+	for i := range ports {
+		ports[i] = uint16(1024 + i)
+	}
+	m := &UDPPortMessage{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}, Ports: ports}
+	raw, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalUDPPortMessage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ports) != 300 {
+		t.Fatalf("got %d ports, want 300", len(got.Ports))
+	}
+	for i := range ports {
+		if got.Ports[i] != ports[i] {
+			t.Fatalf("port[%d] = %d, want %d", i, got.Ports[i], ports[i])
+		}
+	}
+}
+
+func TestUDPPortMessageEmpty(t *testing.T) {
+	m := &UDPPortMessage{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}}
+	raw, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalUDPPortMessage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ports) != 0 {
+		t.Fatalf("empty message round-tripped to %v", got.Ports)
+	}
+}
+
+func TestUDPPortMessageRoundTripProperty(t *testing.T) {
+	f := func(ports []uint16) bool {
+		m := &UDPPortMessage{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}, Ports: ports}
+		raw, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalUDPPortMessage(raw)
+		if err != nil {
+			return false
+		}
+		if len(got.Ports) != len(ports) {
+			return false
+		}
+		for i := range ports {
+			if got.Ports[i] != ports[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestACKRoundTrip(t *testing.T) {
+	a := &ACK{RA: c1Addr}
+	got, err := UnmarshalACK(a.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RA != c1Addr {
+		t.Errorf("RA = %v, want %v", got.RA, c1Addr)
+	}
+}
+
+func TestPSPollRoundTrip(t *testing.T) {
+	p := &PSPoll{AID: 42, BSSID: apAddr, TA: c1Addr}
+	got, err := UnmarshalPSPoll(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AID != 42 || got.BSSID != apAddr || got.TA != c1Addr {
+		t.Errorf("PS-Poll round trip: %+v", got)
+	}
+}
+
+func TestDataFrameWithUDPRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xab}, 100)
+	body := EncapsulateUDP(UDPDatagram{
+		SrcIP: [4]byte{192, 168, 1, 5}, DstIP: [4]byte{255, 255, 255, 255},
+		SrcPort: 5353, DstPort: 5353, Payload: payload,
+	})
+	d := &DataFrame{
+		Header: MACHeader{
+			FC:    FrameControl{FromDS: true, MoreData: true},
+			Addr1: Broadcast, Addr2: apAddr, Addr3: apAddr,
+		},
+		Payload: body,
+	}
+	raw := d.Marshal()
+	got, err := UnmarshalDataFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Header.FC.MoreData {
+		t.Error("MoreData bit lost")
+	}
+	if !got.Header.Addr1.IsBroadcast() {
+		t.Error("broadcast destination lost")
+	}
+	port, err := DstUDPPort(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port != 5353 {
+		t.Errorf("dst port = %d, want 5353", port)
+	}
+	dg, err := ParseUDP(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dg.Payload, payload) {
+		t.Error("UDP payload corrupted in round trip")
+	}
+}
+
+func TestParseUDPRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 10),
+		bytes.Repeat([]byte{0xff}, 50),
+	}
+	for _, c := range cases {
+		if _, err := ParseUDP(c); err == nil {
+			t.Errorf("ParseUDP accepted %d garbage bytes", len(c))
+		}
+	}
+}
+
+func TestParseUDPRejectsNonUDPProtocol(t *testing.T) {
+	body := EncapsulateUDP(UDPDatagram{DstPort: 80})
+	body[LLCSNAPLen+9] = 6 // TCP
+	if _, err := ParseUDP(body); err == nil {
+		t.Fatal("ParseUDP accepted a TCP packet")
+	}
+}
+
+func TestUDPEncapsRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		body := EncapsulateUDP(UDPDatagram{SrcPort: sp, DstPort: dp, Payload: payload})
+		d, err := ParseUDP(body)
+		if err != nil {
+			return false
+		}
+		return d.SrcPort == sp && d.DstPort == dp && bytes.Equal(d.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	var bm VirtualBitmap
+	btim := BTIMFromBitmap(&bm)
+	beacon := &Beacon{Header: MACHeader{Addr1: Broadcast, Addr2: apAddr, Addr3: apAddr}, BTIM: &btim}
+	beaconRaw, err := beacon.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	upm := &UDPPortMessage{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}, Ports: []uint16{53}}
+	upmRaw, err := upm.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := &DataFrame{Header: MACHeader{Addr1: Broadcast, Addr2: apAddr, Addr3: apAddr}}
+	cases := []struct {
+		raw  []byte
+		want FrameKind
+	}{
+		{beaconRaw, KindBeacon},
+		{upmRaw, KindUDPPortMessage},
+		{(&ACK{RA: c1Addr}).Marshal(), KindACK},
+		{(&PSPoll{AID: 1, BSSID: apAddr, TA: c1Addr}).Marshal(), KindPSPoll},
+		{data.Marshal(), KindData},
+		{nil, KindUnknown},
+		{[]byte{0xff}, KindUnknown},
+	}
+	for _, c := range cases {
+		if got := Classify(c.raw); got != c.want {
+			t.Errorf("Classify(%d bytes) = %v, want %v", len(c.raw), got, c.want)
+		}
+	}
+}
+
+func TestParseElementsErrors(t *testing.T) {
+	if _, err := ParseElements([]byte{5}); err == nil {
+		t.Error("accepted truncated element header")
+	}
+	if _, err := ParseElements([]byte{5, 10, 1, 2}); err == nil {
+		t.Error("accepted element with short body")
+	}
+}
+
+func TestElementTooLong(t *testing.T) {
+	e := Element{ID: 1, Body: make([]byte, 256)}
+	if _, err := e.AppendTo(nil); err == nil {
+		t.Fatal("accepted 256-byte element body")
+	}
+}
+
+func TestTIMOddOffsetRejected(t *testing.T) {
+	tim := TIM{BitmapOffset: 3}
+	if _, err := tim.Element(); err == nil {
+		t.Fatal("TIM accepted odd bitmap offset")
+	}
+}
+
+func TestBTIMParseRejectsOddOffset(t *testing.T) {
+	e := Element{ID: ElementIDBTIM, Body: []byte{3, 0xff}}
+	if _, err := ParseBTIM(e); err == nil {
+		t.Fatal("ParseBTIM accepted odd offset")
+	}
+}
+
+func TestPHYAirtime(t *testing.T) {
+	phy := DefaultPHY()
+	// 192 bits preamble at 1 Mb/s = 192 µs.
+	if got := phy.PreambleDuration(); got != 192*1000 {
+		t.Errorf("preamble duration = %v, want 192µs", got)
+	}
+	// 1000-byte frame at 1 Mb/s: 192µs + 8000µs.
+	if got := phy.FrameAirtime(1000, Rate1Mbps); got != 8192*1000 {
+		t.Errorf("airtime = %v, want 8.192ms", got)
+	}
+	// Higher rate shortens only the MAC portion.
+	at11 := phy.FrameAirtime(1000, Rate11Mbps)
+	if at11 >= phy.FrameAirtime(1000, Rate1Mbps) {
+		t.Error("11 Mb/s airtime not shorter than 1 Mb/s")
+	}
+	if at11 <= phy.PreambleDuration() {
+		t.Error("airtime not longer than bare preamble")
+	}
+}
+
+func TestMACAddrHelpers(t *testing.T) {
+	if !Broadcast.IsBroadcast() || !Broadcast.IsMulticast() {
+		t.Error("broadcast address misclassified")
+	}
+	if apAddr.IsBroadcast() || apAddr.IsMulticast() {
+		t.Error("unicast address misclassified")
+	}
+	mc := MACAddr{0x01, 0x00, 0x5e, 0, 0, 1}
+	if !mc.IsMulticast() || mc.IsBroadcast() {
+		t.Error("multicast address misclassified")
+	}
+	if Broadcast.String() != "ff:ff:ff:ff:ff:ff" {
+		t.Errorf("String = %q", Broadcast.String())
+	}
+}
+
+func TestAIDValid(t *testing.T) {
+	cases := []struct {
+		aid  AID
+		want bool
+	}{{0, false}, {1, true}, {2007, true}, {2008, false}}
+	for _, c := range cases {
+		if c.aid.Valid() != c.want {
+			t.Errorf("AID(%d).Valid() = %v, want %v", c.aid, !c.want, c.want)
+		}
+	}
+}
+
+func TestDisassocRoundTrip(t *testing.T) {
+	d := &Disassoc{
+		Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr},
+		Reason: ReasonStationLeft,
+	}
+	raw := d.Marshal()
+	if Classify(raw) != KindDisassoc {
+		t.Fatalf("Classify = %v", Classify(raw))
+	}
+	got, err := UnmarshalDisassoc(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != ReasonStationLeft || got.Header.Addr2 != c1Addr {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := UnmarshalDisassoc(raw[:10]); err == nil {
+		t.Error("short disassoc accepted")
+	}
+}

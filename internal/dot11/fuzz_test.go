@@ -1,0 +1,159 @@
+package dot11
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: every decoder must return an error or a value — never
+// panic — on arbitrary input, and successfully-decoded frames must
+// re-encode to an equivalent wire image where the format is canonical.
+
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	var bm VirtualBitmap
+	bm.Set(3)
+	btim := BTIMFromBitmap(&bm)
+	b := &Beacon{
+		Header:         MACHeader{Addr1: Broadcast, Addr2: apAddr, Addr3: apAddr},
+		BeaconInterval: 100,
+		SSID:           "fuzz",
+		TIM:            &TIM{DTIMPeriod: 3, PartialBitmap: []byte{0x05}},
+		BTIM:           &btim,
+	}
+	if raw, err := b.Marshal(); err == nil {
+		f.Add(raw)
+	}
+	m := &UDPPortMessage{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}, Ports: []uint16{53, 5353}}
+	if raw, err := m.Marshal(); err == nil {
+		f.Add(raw)
+	}
+	req := &AssocRequest{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}, SSID: "x", HIDECapable: true}
+	if raw, err := req.Marshal(); err == nil {
+		f.Add(raw)
+	}
+	resp := &AssocResponse{Header: MACHeader{Addr1: c1Addr, Addr2: apAddr, Addr3: apAddr}, AID: 7}
+	if raw, err := resp.Marshal(); err == nil {
+		f.Add(raw)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x00})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+}
+
+func FuzzUnmarshalBeacon(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		b, err := UnmarshalBeacon(raw)
+		if err != nil {
+			return
+		}
+		// Re-encode: must succeed and decode to the same fields.
+		out, err := b.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of decoded beacon failed: %v", err)
+		}
+		b2, err := UnmarshalBeacon(out)
+		if err != nil {
+			t.Fatalf("decode of re-marshalled beacon failed: %v", err)
+		}
+		if b2.SSID != b.SSID || b2.BeaconInterval != b.BeaconInterval {
+			t.Fatal("beacon fields drifted across re-encode")
+		}
+	})
+}
+
+func FuzzUnmarshalUDPPortMessage(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := UnmarshalUDPPortMessage(raw)
+		if err != nil {
+			return
+		}
+		out, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		m2, err := UnmarshalUDPPortMessage(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(m2.Ports) != len(m.Ports) {
+			t.Fatal("port count drifted")
+		}
+	})
+}
+
+func FuzzUnmarshalAssocFrames(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Neither decoder may panic; Classify must not disagree with a
+		// successful decode.
+		if r, err := UnmarshalAssocRequest(raw); err == nil {
+			if Classify(raw) != KindAssocRequest {
+				t.Fatal("Classify disagrees with UnmarshalAssocRequest")
+			}
+			if _, err := r.Marshal(); err != nil {
+				t.Fatalf("re-marshal failed: %v", err)
+			}
+		}
+		if r, err := UnmarshalAssocResponse(raw); err == nil {
+			if Classify(raw) != KindAssocResponse {
+				t.Fatal("Classify disagrees with UnmarshalAssocResponse")
+			}
+			if _, err := r.Marshal(); err != nil {
+				t.Fatalf("re-marshal failed: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzParseElements(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 'x'})
+	f.Add([]byte{5, 4, 0, 3, 0, 1})
+	f.Add(bytes.Repeat([]byte{200, 2, 1, 2}, 10))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		elems, err := ParseElements(raw)
+		if err != nil {
+			return
+		}
+		// Total re-encoded length must equal the input length.
+		total := 0
+		for _, e := range elems {
+			total += e.WireLen()
+		}
+		if total != len(raw) {
+			t.Fatalf("element lengths %d != input %d", total, len(raw))
+		}
+	})
+}
+
+func FuzzParseUDP(f *testing.F) {
+	f.Add(EncapsulateUDP(UDPDatagram{SrcPort: 1, DstPort: 2, Payload: []byte("hi")}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xaa}, 40))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d, err := ParseUDP(raw)
+		if err != nil {
+			return
+		}
+		// A decoded datagram must re-encapsulate to a parseable body
+		// with the same ports and payload.
+		out := EncapsulateUDP(d)
+		d2, err := ParseUDP(out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if d2.DstPort != d.DstPort || d2.SrcPort != d.SrcPort || !bytes.Equal(d2.Payload, d.Payload) {
+			t.Fatal("datagram drifted across re-encapsulation")
+		}
+	})
+}
+
+func FuzzClassifyNeverPanics(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		_ = Classify(raw).String()
+	})
+}

@@ -1,0 +1,82 @@
+package dot11
+
+import (
+	"fmt"
+	"time"
+)
+
+// Rate is a PHY data rate in bits per second.
+type Rate float64
+
+// Standard 802.11b rates. The paper's evaluation sends UDP Port
+// Messages at the lowest rate (1 Mb/s) and uses 11 Mb/s channel rate
+// for the capacity analysis (Table II).
+const (
+	Rate1Mbps  Rate = 1e6
+	Rate2Mbps  Rate = 2e6
+	Rate55Mbps Rate = 5.5e6
+	Rate11Mbps Rate = 11e6
+)
+
+// String formats the rate in Mb/s.
+func (r Rate) String() string { return fmt.Sprintf("%gMb/s", float64(r)/1e6) }
+
+// PHY holds physical-layer timing parameters. DefaultPHY matches the
+// 802.11b configuration of Table II.
+type PHY struct {
+	// PreambleHeaderBits is the PLCP preamble + header length in bits,
+	// transmitted at the base rate (Table II: 192 bits).
+	PreambleHeaderBits int
+	// BaseRate is the rate the preamble/header are sent at.
+	BaseRate Rate
+	// SlotTime, SIFS, DIFS are MAC timing parameters.
+	SlotTime time.Duration
+	SIFS     time.Duration
+	DIFS     time.Duration
+	// PropagationDelay is the one-way propagation delay.
+	PropagationDelay time.Duration
+	// CWMin, CWMax bound the contention window.
+	CWMin, CWMax int
+}
+
+// DefaultPHY returns the 802.11b parameters of Table II.
+func DefaultPHY() PHY {
+	return PHY{
+		PreambleHeaderBits: 192,
+		BaseRate:           Rate1Mbps,
+		SlotTime:           20 * time.Microsecond,
+		SIFS:               10 * time.Microsecond,
+		DIFS:               50 * time.Microsecond,
+		PropagationDelay:   1 * time.Microsecond,
+		CWMin:              32,
+		CWMax:              1024,
+	}
+}
+
+// PreambleDuration returns the time to transmit the PLCP preamble and
+// header at the base rate.
+func (p PHY) PreambleDuration() time.Duration {
+	return bitsDuration(p.PreambleHeaderBits, p.BaseRate)
+}
+
+// FrameAirtime returns the time on air for a frame of frameBytes bytes
+// (MAC header + body + FCS) sent at rate: PLCP preamble/header at the
+// base rate plus the MAC portion at the payload rate.
+func (p PHY) FrameAirtime(frameBytes int, rate Rate) time.Duration {
+	return p.PreambleDuration() + bitsDuration(8*frameBytes, rate)
+}
+
+// bitsDuration returns the transmission time of n bits at rate r.
+func bitsDuration(n int, r Rate) time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(r) * float64(time.Second))
+}
+
+// TU is the 802.11 time unit used for beacon intervals.
+const TU = 1024 * time.Microsecond
+
+// DefaultBeaconInterval is the conventional 100 TU beacon interval
+// (102.4 ms).
+const DefaultBeaconInterval = 100 * TU

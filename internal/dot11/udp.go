@@ -1,0 +1,127 @@
+package dot11
+
+import "fmt"
+
+// This file synthesizes and parses the LLC/SNAP + IPv4 + UDP payload
+// of a UDP-padded broadcast frame. The AP-side Algorithm 1 extracts the
+// destination UDP port from the frame body, so the simulated frames
+// carry a real, parseable encapsulation rather than an out-of-band tag.
+
+// Encapsulation header lengths in bytes.
+const (
+	LLCSNAPLen = 8
+	IPv4HdrLen = 20
+	UDPHdrLen  = 8
+	// UDPEncapsLen is the total encapsulation overhead between the MAC
+	// header and the UDP payload.
+	UDPEncapsLen = LLCSNAPLen + IPv4HdrLen + UDPHdrLen
+)
+
+// etherTypeIPv4 is the SNAP ethertype for IPv4.
+const etherTypeIPv4 = 0x0800
+
+// UDPDatagram describes a UDP datagram to encapsulate.
+type UDPDatagram struct {
+	SrcIP, DstIP     [4]byte
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// EncapsulateUDP builds the LLC/SNAP + IPv4 + UDP body for a data frame.
+func EncapsulateUDP(d UDPDatagram) []byte {
+	total := UDPEncapsLen + len(d.Payload)
+	b := make([]byte, total)
+
+	// LLC/SNAP: DSAP=AA SSAP=AA CTRL=03, OUI=000000, EtherType.
+	b[0], b[1], b[2] = 0xaa, 0xaa, 0x03
+	b[6] = byte(etherTypeIPv4 >> 8)
+	b[7] = byte(etherTypeIPv4 & 0xff)
+
+	ip := b[LLCSNAPLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	ipLen := IPv4HdrLen + UDPHdrLen + len(d.Payload)
+	ip[2] = byte(ipLen >> 8)
+	ip[3] = byte(ipLen)
+	ip[8] = 64 // TTL
+	ip[9] = 17 // protocol UDP
+	copy(ip[12:16], d.SrcIP[:])
+	copy(ip[16:20], d.DstIP[:])
+	cs := ipv4Checksum(ip[:IPv4HdrLen])
+	ip[10] = byte(cs >> 8)
+	ip[11] = byte(cs)
+
+	udp := ip[IPv4HdrLen:]
+	udp[0] = byte(d.SrcPort >> 8)
+	udp[1] = byte(d.SrcPort)
+	udp[2] = byte(d.DstPort >> 8)
+	udp[3] = byte(d.DstPort)
+	ul := UDPHdrLen + len(d.Payload)
+	udp[4] = byte(ul >> 8)
+	udp[5] = byte(ul)
+	copy(udp[UDPHdrLen:], d.Payload)
+	return b
+}
+
+// ParseUDP extracts the UDP datagram from a data-frame body produced by
+// EncapsulateUDP (or any LLC/SNAP IPv4 UDP body). It returns an error
+// if the body is not a well-formed UDP-over-IPv4 encapsulation.
+func ParseUDP(body []byte) (UDPDatagram, error) {
+	var d UDPDatagram
+	if len(body) < UDPEncapsLen {
+		return d, fmt.Errorf("%w: %d bytes for UDP encapsulation", ErrShortFrame, len(body))
+	}
+	if body[0] != 0xaa || body[1] != 0xaa || body[2] != 0x03 {
+		return d, fmt.Errorf("dot11: not an LLC/SNAP body")
+	}
+	if et := uint16(body[6])<<8 | uint16(body[7]); et != etherTypeIPv4 {
+		return d, fmt.Errorf("dot11: ethertype %#04x is not IPv4", et)
+	}
+	ip := body[LLCSNAPLen:]
+	if ip[0]>>4 != 4 {
+		return d, fmt.Errorf("dot11: IP version %d is not 4", ip[0]>>4)
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HdrLen || len(ip) < ihl+UDPHdrLen {
+		return d, fmt.Errorf("%w: IHL %d", ErrShortFrame, ihl)
+	}
+	if ip[9] != 17 {
+		return d, fmt.Errorf("dot11: IP protocol %d is not UDP", ip[9])
+	}
+	copy(d.SrcIP[:], ip[12:16])
+	copy(d.DstIP[:], ip[16:20])
+	udp := ip[ihl:]
+	d.SrcPort = uint16(udp[0])<<8 | uint16(udp[1])
+	d.DstPort = uint16(udp[2])<<8 | uint16(udp[3])
+	ul := int(udp[4])<<8 | int(udp[5])
+	if ul < UDPHdrLen || len(udp) < ul {
+		return d, fmt.Errorf("%w: UDP length %d with %d bytes", ErrShortFrame, ul, len(udp))
+	}
+	d.Payload = udp[UDPHdrLen:ul]
+	return d, nil
+}
+
+// DstUDPPort extracts just the destination UDP port from a data-frame
+// body. This is the AP's hot path in Algorithm 1 (line 3).
+func DstUDPPort(body []byte) (uint16, error) {
+	d, err := ParseUDP(body)
+	if err != nil {
+		return 0, err
+	}
+	return d.DstPort, nil
+}
+
+// ipv4Checksum computes the IPv4 header checksum with the checksum
+// field treated as zero.
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field
+		}
+		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,118 @@
+// Package energy implements the HIDE paper's energy model (Section IV,
+// Eqs. 1-19): given the sequence of broadcast frames a client's radio
+// receives — filtered or not by a traffic-management policy — it
+// reconstructs the host state machine (suspend / resume / wakelock /
+// suspending, Eqs. 3-5) and computes the five energy components of
+// Eq. 2:
+//
+//	E = Eb + Ef + Ewl + Est + Eo
+//
+// Eb  beacon reception, Ef radio receive + idle listening, Ewl system
+// idle under WiFi wakelocks, Est suspend/resume state transfers
+// (including aborted suspends, Eq. 14), Eo HIDE protocol overhead
+// (BTIM bytes in beacons + UDP Port Message transmissions, Eqs. 15-19).
+//
+// All energies are in joules, powers in watts, durations in
+// time.Duration. Device constants come from the paper's Table I
+// (measured with a Monsoon power monitor on a Nexus One and a
+// Galaxy S4); this reproduction embeds those published numbers.
+package energy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile holds the per-device constants of Table I.
+type Profile struct {
+	// Name identifies the device.
+	Name string
+	// Tau is the WiFi-driver wakelock duration acquired per received
+	// broadcast frame (1 s on both devices).
+	Tau time.Duration
+	// Trm and Tsp are the durations of the system resume and suspend
+	// operations.
+	Trm time.Duration
+	Tsp time.Duration
+	// ErmJ and EspJ are the energies of one resume and one suspend
+	// operation, in joules.
+	ErmJ float64
+	EspJ float64
+	// EBeaconJ is the energy to receive one beacon frame, in joules.
+	// Table I lists this as E^u_b = 1.25/1.71 mJ. The paper's Eq. 6
+	// nominally multiplies a per-byte constant by beacon bytes, but the
+	// magnitude only makes sense per beacon (1.25 mJ/byte would exceed
+	// the radio's receive power by orders of magnitude), so this model
+	// charges E^u_b per beacon and prices extra BTIM bytes at the
+	// radio's receive power over their airtime (see Overhead).
+	EBeaconJ float64
+	// PrW, PtW, PidleW are the WiFi radio powers (receive, transmit,
+	// idle listening), in watts.
+	PrW    float64
+	PtW    float64
+	PidleW float64
+	// PssW is the whole-system suspend-mode power.
+	PssW float64
+	// PsaW is the whole-system active-and-idle power, charged while a
+	// wakelock holds the system awake (Eq. 12).
+	PsaW float64
+}
+
+// NexusOne is the Table I profile for the Nexus One.
+var NexusOne = Profile{
+	Name: "Nexus One",
+	Tau:  time.Second,
+	Trm:  46 * time.Millisecond,
+	Tsp:  86 * time.Millisecond,
+	ErmJ: 18.26e-3, EspJ: 17.66e-3,
+	EBeaconJ: 1.25e-3,
+	PrW:      0.530, PtW: 1.200, PidleW: 0.245,
+	PssW: 0.011, PsaW: 0.125,
+}
+
+// GalaxyS4 is the Table I profile for the Samsung Galaxy S4.
+var GalaxyS4 = Profile{
+	Name: "Galaxy S4",
+	Tau:  time.Second,
+	Trm:  44 * time.Millisecond,
+	Tsp:  165 * time.Millisecond,
+	ErmJ: 58.3e-3, EspJ: 85.8e-3,
+	EBeaconJ: 1.71e-3,
+	PrW:      0.538, PtW: 1.500, PidleW: 0.275,
+	PssW: 0.015, PsaW: 0.130,
+}
+
+// Profiles lists the built-in device profiles.
+var Profiles = []Profile{NexusOne, GalaxyS4}
+
+// ProfileByName returns the built-in profile with the given name
+// (case-sensitive), or an error listing the known names.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	known := make([]string, len(Profiles))
+	for i, p := range Profiles {
+		known[i] = p.Name
+	}
+	return Profile{}, fmt.Errorf("energy: unknown device %q (known: %v)", name, known)
+}
+
+// Validate checks that the profile's constants are physically sensible.
+func (p Profile) Validate() error {
+	switch {
+	case p.Tau <= 0:
+		return fmt.Errorf("energy: profile %s: Tau %v must be positive", p.Name, p.Tau)
+	case p.Trm <= 0 || p.Tsp <= 0:
+		return fmt.Errorf("energy: profile %s: resume/suspend durations must be positive", p.Name)
+	case p.ErmJ < 0 || p.EspJ < 0 || p.EBeaconJ < 0:
+		return fmt.Errorf("energy: profile %s: energies must be non-negative", p.Name)
+	case p.PrW <= 0 || p.PtW <= 0 || p.PidleW <= 0 || p.PsaW <= 0 || p.PssW < 0:
+		return fmt.Errorf("energy: profile %s: powers must be positive", p.Name)
+	case p.PssW >= p.PsaW:
+		return fmt.Errorf("energy: profile %s: suspend power %v not below active-idle power %v", p.Name, p.PssW, p.PsaW)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/sim"
+)
+
+// This file implements the paper's Section IV recursion literally —
+// arrays s(i), tr(i), twl(i), y(i) written exactly as Eqs. 3-5 and 14
+// state them, with the homogeneous wakelock τ the paper assumes — and
+// checks that the production model (which generalizes to per-frame
+// wakelocks with a running-maximum expiry) reduces to it exactly when
+// every frame carries the same τ.
+
+// refState reproduces Eqs. 3-5 and 14 verbatim for homogeneous τ.
+type refState struct {
+	tr  []time.Duration // wakelock start times, Eq. 3
+	twl []time.Duration // active wakelock durations, Eq. 4
+	s   []bool          // true = active/resuming/suspending
+	y   []float64       // aborted-suspend portions, Eq. 14
+}
+
+// referenceRecursion computes the paper's arrays for frames with a
+// single wakelock duration tau.
+func referenceRecursion(frames []Arrival, dev Profile, tau time.Duration) refState {
+	n := len(frames)
+	st := refState{
+		tr:  make([]time.Duration, n),
+		twl: make([]time.Duration, n),
+		s:   make([]bool, n),
+		y:   make([]float64, n),
+	}
+	rxEnd := func(i int) time.Duration { return frames[i].endTime() }
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			// The paper assumes s(1) = 0.
+			st.s[0] = false
+			st.tr[0] = rxEnd(0) + dev.Trm // Eq. 3, suspended branch
+			continue
+		}
+		// Eq. 5.
+		if rxEnd(i) >= st.tr[i-1]+tau+dev.Tsp {
+			st.s[i] = false
+			st.tr[i] = rxEnd(i) + dev.Trm
+		} else {
+			st.s[i] = true
+			if rxEnd(i) > st.tr[i-1] {
+				st.tr[i] = rxEnd(i)
+			} else {
+				st.tr[i] = st.tr[i-1]
+			}
+			// Eq. 14 (only charged when s(i) = 1).
+			prevTwl := st.tr[i] - st.tr[i-1]
+			if prevTwl > tau {
+				prevTwl = tau
+			}
+			if gap := st.tr[i] - st.tr[i-1] - prevTwl; gap > 0 {
+				st.y[i] = float64(gap) / float64(dev.Tsp)
+			}
+		}
+	}
+	// Eq. 4.
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			st.twl[i] = st.tr[i+1] - st.tr[i]
+			if st.twl[i] > tau {
+				st.twl[i] = tau
+			}
+		} else {
+			st.twl[i] = tau
+		}
+	}
+	return st
+}
+
+// refEnergies computes Ewl and Est from the reference arrays.
+func refEnergies(st refState, dev Profile) (ewlJ, estJ float64, resumes int) {
+	var sumTwl time.Duration
+	var sumY float64
+	for i := range st.s {
+		sumTwl += st.twl[i]
+		sumY += st.y[i]
+		if !st.s[i] {
+			resumes++
+		}
+	}
+	ewlJ = dev.PsaW * sumTwl.Seconds()
+	estJ = (dev.ErmJ+dev.EspJ)*float64(resumes) + dev.EspJ*sumY
+	return ewlJ, estJ, resumes
+}
+
+// genFrames builds a random, sorted, homogeneous-τ arrival sequence.
+func genFrames(seed uint64, n int, tau time.Duration) []Arrival {
+	r := sim.NewRNG(seed)
+	frames := make([]Arrival, n)
+	at := time.Duration(0)
+	for i := range frames {
+		// Gaps spanning renewal, abort, and full-suspend regimes.
+		at += time.Duration(r.Intn(3000)) * time.Millisecond
+		frames[i] = Arrival{
+			At:       at,
+			Length:   60 + r.Intn(1400),
+			Rate:     dot11.Rate1Mbps,
+			Wakelock: tau,
+		}
+	}
+	return frames
+}
+
+func TestModelMatchesPaperRecursion(t *testing.T) {
+	for _, dev := range Profiles {
+		dev := dev
+		t.Run(dev.Name, func(t *testing.T) {
+			f := func(seed uint64, nRaw uint8) bool {
+				n := int(nRaw%50) + 1
+				frames := genFrames(seed, n, dev.Tau)
+				duration := frames[n-1].At + 10*time.Second
+
+				st := referenceRecursion(frames, dev, dev.Tau)
+				wantEwl, wantEst, wantResumes := refEnergies(st, dev)
+
+				got, err := Compute(frames, Config{Device: dev, Duration: duration})
+				if err != nil {
+					t.Logf("Compute error: %v", err)
+					return false
+				}
+				if got.Resumes != wantResumes {
+					t.Logf("seed %d n %d: resumes %d vs reference %d", seed, n, got.Resumes, wantResumes)
+					return false
+				}
+				if !approx(got.EwlJ, wantEwl, 1e-9) {
+					t.Logf("seed %d n %d: Ewl %v vs reference %v", seed, n, got.EwlJ, wantEwl)
+					return false
+				}
+				if !approx(got.EstJ, wantEst, 1e-9) {
+					t.Logf("seed %d n %d: Est %v vs reference %v", seed, n, got.EstJ, wantEst)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestModelMatchesPaperRecursionDense(t *testing.T) {
+	// Dense traffic exercises the renewal path heavily.
+	dev := GalaxyS4
+	frames := make([]Arrival, 200)
+	for i := range frames {
+		frames[i] = Arrival{
+			At:       time.Duration(i) * 150 * time.Millisecond,
+			Length:   200,
+			Rate:     dot11.Rate1Mbps,
+			Wakelock: dev.Tau,
+		}
+	}
+	st := referenceRecursion(frames, dev, dev.Tau)
+	wantEwl, wantEst, wantResumes := refEnergies(st, dev)
+	got, err := Compute(frames, Config{Device: dev, Duration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Resumes != wantResumes || !approx(got.EwlJ, wantEwl, 1e-9) || !approx(got.EstJ, wantEst, 1e-9) {
+		t.Fatalf("dense: got (%d, %v, %v), reference (%d, %v, %v)",
+			got.Resumes, got.EwlJ, got.EstJ, wantResumes, wantEwl, wantEst)
+	}
+}

@@ -1,0 +1,149 @@
+package energy
+
+import (
+	"fmt"
+	"time"
+)
+
+// StateKind is a host power state in the reconstructed timeline.
+type StateKind int
+
+// Host states, in increasing power order.
+const (
+	// StateSuspended: SOC off, radio still waking for beacons.
+	StateSuspended StateKind = iota
+	// StateSuspending: the suspend operation is executing (may abort).
+	StateSuspending
+	// StateResuming: the resume operation is executing.
+	StateResuming
+	// StateAwake: active or idle under a WiFi wakelock.
+	StateAwake
+)
+
+// String names the state.
+func (k StateKind) String() string {
+	switch k {
+	case StateSuspended:
+		return "suspended"
+	case StateSuspending:
+		return "suspending"
+	case StateResuming:
+		return "resuming"
+	case StateAwake:
+		return "awake"
+	default:
+		return fmt.Sprintf("state(%d)", int(k))
+	}
+}
+
+// Interval is one contiguous stretch in a single state.
+type Interval struct {
+	Kind     StateKind
+	From, To time.Duration
+}
+
+// Duration returns the interval length.
+func (iv Interval) Duration() time.Duration { return iv.To - iv.From }
+
+// StateTimeline reconstructs the host's power-state timeline from the
+// received-frame sequence, using the same Eqs. 3-5/14 semantics as
+// Compute: resume on arrival in suspend, wakelock renewal via running
+// maximum expiry, aborted suspends on arrivals during the suspend
+// operation. The returned intervals partition [0, cfg.Duration]
+// exactly: sorted, contiguous, no gaps.
+func StateTimeline(frames []Arrival, cfg Config) ([]Interval, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("energy: non-positive duration %v", cfg.Duration)
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i].At < frames[i-1].At {
+			return nil, fmt.Errorf("energy: frames out of order at index %d", i)
+		}
+	}
+	dev := cfg.Device
+
+	var out []Interval
+	add := func(kind StateKind, from, to time.Duration) {
+		if from < 0 {
+			from = 0
+		}
+		if to > cfg.Duration {
+			to = cfg.Duration
+		}
+		if to <= from {
+			return
+		}
+		// Merge with the previous interval when the state repeats.
+		if n := len(out); n > 0 && out[n-1].Kind == kind && out[n-1].To == from {
+			out[n-1].To = to
+			return
+		}
+		out = append(out, Interval{Kind: kind, From: from, To: to})
+	}
+
+	var expiry, tr, mark time.Duration
+	started := false
+	// closeEpisode emits the tail of an awake episode that ended with a
+	// completed suspend, covering up to `until`.
+	closeEpisode := func(until time.Duration) {
+		add(StateAwake, mark, expiry)
+		add(StateSuspending, expiry, expiry+dev.Tsp)
+		add(StateSuspended, expiry+dev.Tsp, until)
+	}
+
+	for _, f := range frames {
+		rxEnd := f.endTime()
+		if !started || rxEnd >= expiry+dev.Tsp {
+			if !started {
+				add(StateSuspended, 0, rxEnd)
+			} else {
+				closeEpisode(rxEnd)
+			}
+			add(StateResuming, rxEnd, rxEnd+dev.Trm)
+			tr = rxEnd + dev.Trm
+			mark = tr
+			expiry = tr + f.Wakelock
+			started = true
+			continue
+		}
+		newTr := maxDur(rxEnd, tr)
+		if newTr > expiry {
+			// The suspend that began at expiry was aborted at newTr.
+			add(StateAwake, mark, expiry)
+			add(StateSuspending, expiry, newTr)
+			mark = newTr
+		}
+		tr = newTr
+		if e := tr + f.Wakelock; e > expiry {
+			expiry = e
+		}
+	}
+	if started {
+		closeEpisode(cfg.Duration)
+	} else {
+		add(StateSuspended, 0, cfg.Duration)
+	}
+
+	// The final episode may extend past the window; ensure coverage to
+	// the boundary (add clamps internally, so only a shortfall needs
+	// patching — the device is still awake at the cut).
+	if n := len(out); n > 0 && out[n-1].To < cfg.Duration {
+		add(StateAwake, out[n-1].To, cfg.Duration)
+	}
+	return out, nil
+}
+
+// TimeInState sums the time spent in a state.
+func TimeInState(ivs []Interval, kind StateKind) time.Duration {
+	var total time.Duration
+	for _, iv := range ivs {
+		if iv.Kind == kind {
+			total += iv.Duration()
+		}
+	}
+	return total
+}

@@ -1,0 +1,179 @@
+// Package medium emulates a single 802.11 broadcast channel: frames
+// transmitted by attached nodes are serialized (a simple FIFO
+// approximation of CSMA/CA), take their real airtime at the chosen PHY
+// rate, and are delivered to the addressed node — or to every other
+// node for group-addressed frames. Optional random loss exercises
+// retransmission paths.
+//
+// The medium runs on a sim.Engine virtual clock, so whole days of
+// channel time simulate in milliseconds and runs are deterministic.
+package medium
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/sim"
+)
+
+// Node is anything attached to the medium. Receive is called once per
+// delivered frame with the raw bytes, the PHY rate it was sent at, and
+// the delivery (end-of-airtime) virtual time.
+type Node interface {
+	Receive(raw []byte, rate dot11.Rate, at time.Duration)
+}
+
+// Channel is the transport surface the protocol entities (AP,
+// stations) program against: the in-process emulated Medium implements
+// it, and so does the UDP-backed air link used by the hided/hidec
+// daemons — the same AP and station code runs over both.
+type Channel interface {
+	// Attach registers a node under its MAC address.
+	Attach(addr dot11.MACAddr, n Node)
+	// Transmit sends a frame; it returns the (estimated) delivery time.
+	Transmit(src dot11.MACAddr, raw []byte, rate dot11.Rate) time.Duration
+}
+
+var _ Channel = (*Medium)(nil)
+
+// Medium is the emulated channel. Create with New.
+type Medium struct {
+	eng       *sim.Engine
+	phy       dot11.PHY
+	nodes     map[dot11.MACAddr]Node
+	order     []dot11.MACAddr // deterministic broadcast delivery order
+	busyUntil time.Duration
+	lossProb  float64
+	rng       *sim.RNG
+
+	// Stats counts medium activity.
+	Stats Stats
+
+	tap func(raw []byte, rate dot11.Rate, at time.Duration)
+}
+
+// Stats tallies channel activity.
+type Stats struct {
+	Transmissions int
+	Deliveries    int
+	Losses        int
+	AirtimeBusy   time.Duration
+}
+
+// New creates a medium on the engine with the given PHY parameters.
+func New(eng *sim.Engine, phy dot11.PHY, seed uint64) *Medium {
+	return &Medium{
+		eng:   eng,
+		phy:   phy,
+		nodes: make(map[dot11.MACAddr]Node),
+		rng:   sim.NewRNG(seed),
+	}
+}
+
+// SetLoss sets the independent per-delivery loss probability.
+func (m *Medium) SetLoss(p float64) error {
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("medium: loss probability %v outside [0, 1)", p)
+	}
+	m.lossProb = p
+	return nil
+}
+
+// SetTap installs a monitor callback invoked for every transmission at
+// its start-of-airtime instant, regardless of addressing — the
+// equivalent of a monitor-mode capture interface. A nil tap disables
+// monitoring.
+func (m *Medium) SetTap(tap func(raw []byte, rate dot11.Rate, at time.Duration)) {
+	m.tap = tap
+}
+
+// Attach registers a node under its MAC address. Attaching the same
+// address twice replaces the previous node.
+func (m *Medium) Attach(addr dot11.MACAddr, n Node) {
+	if _, ok := m.nodes[addr]; !ok {
+		m.order = append(m.order, addr)
+	}
+	m.nodes[addr] = n
+}
+
+// PHY returns the channel's PHY parameters.
+func (m *Medium) PHY() dot11.PHY { return m.phy }
+
+// Airtime returns the on-air duration of a frame of n bytes at rate,
+// including the FCS the marshalled bytes omit.
+func (m *Medium) Airtime(n int, rate dot11.Rate) time.Duration {
+	return m.phy.FrameAirtime(n+dot11.FCSLen, rate)
+}
+
+// Transmit queues a frame for transmission from src. If the channel is
+// busy the transmission starts after the in-flight frame plus a DIFS
+// (FIFO channel access — contention and collisions are abstracted away;
+// the Bianchi model covers their effect on capacity analytically).
+// Delivery callbacks fire at end of airtime. Transmit reports the
+// delivery time.
+func (m *Medium) Transmit(src dot11.MACAddr, raw []byte, rate dot11.Rate) time.Duration {
+	start := m.eng.Now()
+	if m.busyUntil > start {
+		start = m.busyUntil + m.phy.DIFS
+	}
+	air := m.Airtime(len(raw), rate)
+	end := start + air + m.phy.PropagationDelay
+	m.busyUntil = start + air
+	m.Stats.Transmissions++
+	m.Stats.AirtimeBusy += air
+
+	// Copy: the caller may reuse its buffer.
+	frame := append([]byte(nil), raw...)
+	if m.tap != nil {
+		m.tap(frame, rate, start)
+	}
+	m.eng.MustScheduleAt(end, func(now time.Duration) {
+		m.deliver(src, frame, rate, now)
+	})
+	return end
+}
+
+// deliver routes the frame to its destination(s).
+func (m *Medium) deliver(src dot11.MACAddr, raw []byte, rate dot11.Rate, now time.Duration) {
+	dst, ok := destination(raw)
+	if !ok {
+		return
+	}
+	if dst.IsMulticast() {
+		for _, addr := range m.order {
+			if addr == src {
+				continue
+			}
+			m.deliverOne(addr, raw, rate, now)
+		}
+		return
+	}
+	m.deliverOne(dst, raw, rate, now)
+}
+
+// deliverOne hands the frame to one node, applying loss.
+func (m *Medium) deliverOne(addr dot11.MACAddr, raw []byte, rate dot11.Rate, now time.Duration) {
+	n, ok := m.nodes[addr]
+	if !ok {
+		return
+	}
+	if m.lossProb > 0 && m.rng.Float64() < m.lossProb {
+		m.Stats.Losses++
+		return
+	}
+	m.Stats.Deliveries++
+	n.Receive(raw, rate, now)
+}
+
+// destination extracts the receiver address from a raw frame.
+func destination(raw []byte) (dot11.MACAddr, bool) {
+	var dst dot11.MACAddr
+	if len(raw) < 10 {
+		return dst, false
+	}
+	// All frame types used here carry the receiver address at offset 4
+	// (Addr1 for management/data, RA for ACK, BSSID for PS-Poll).
+	copy(dst[:], raw[4:10])
+	return dst, true
+}

@@ -1,0 +1,317 @@
+// Package netmedium exposes a running protocol simulation on the
+// network: a UDP service that streams every frame on the emulated
+// channel to subscribed "monitor mode" taps, and accepts remote
+// injection of broadcast traffic into the AP — the observability and
+// drive interfaces a deployed simulator offers so external tools
+// (dashboards, traffic replayers, other processes) can participate
+// without linking the simulator in.
+//
+// Wire protocol (binary, little-endian, one message per datagram):
+//
+//	offset  size  field
+//	0       2     magic 0x1DE5
+//	2       1     version (1)
+//	3       1     type
+//	4       8     virtual timestamp, nanoseconds
+//	12      8     PHY rate, bits/s (float64 bits)
+//	20      2     payload length n
+//	22      n     payload
+//
+// Types: Subscribe (payload empty), Unsubscribe (empty), Frame (payload
+// is the raw 802.11 frame; server→tap only), Inject (payload is a
+// 4-byte header: dst UDP port (2) + frame payload size (2); tap→server
+// only), and Pong/Ping for liveness.
+package netmedium
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dot11"
+)
+
+// Wire protocol constants.
+const (
+	protoMagic   uint16 = 0x1de5
+	protoVersion byte   = 1
+
+	headerLen   = 22
+	maxFrameLen = 4096
+)
+
+// MsgType enumerates protocol message types.
+type MsgType byte
+
+// Message types.
+const (
+	MsgSubscribe MsgType = iota + 1
+	MsgUnsubscribe
+	MsgFrame
+	MsgInject
+	MsgPing
+	MsgPong
+)
+
+// Message is one decoded protocol message.
+type Message struct {
+	Type    MsgType
+	At      time.Duration // virtual time
+	Rate    dot11.Rate
+	Payload []byte
+}
+
+// Marshal encodes the message into a datagram.
+func (m Message) Marshal() ([]byte, error) {
+	if len(m.Payload) > maxFrameLen {
+		return nil, fmt.Errorf("netmedium: payload %d exceeds %d", len(m.Payload), maxFrameLen)
+	}
+	out := make([]byte, headerLen+len(m.Payload))
+	binary.LittleEndian.PutUint16(out[0:2], protoMagic)
+	out[2] = protoVersion
+	out[3] = byte(m.Type)
+	binary.LittleEndian.PutUint64(out[4:12], uint64(m.At.Nanoseconds()))
+	binary.LittleEndian.PutUint64(out[12:20], math.Float64bits(float64(m.Rate)))
+	binary.LittleEndian.PutUint16(out[20:22], uint16(len(m.Payload)))
+	copy(out[headerLen:], m.Payload)
+	return out, nil
+}
+
+// ErrBadMessage reports a malformed datagram.
+var ErrBadMessage = errors.New("netmedium: malformed message")
+
+// Unmarshal decodes a datagram.
+func Unmarshal(b []byte) (Message, error) {
+	var m Message
+	if len(b) < headerLen {
+		return m, fmt.Errorf("%w: %d bytes", ErrBadMessage, len(b))
+	}
+	if binary.LittleEndian.Uint16(b[0:2]) != protoMagic {
+		return m, fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	if b[2] != protoVersion {
+		return m, fmt.Errorf("%w: version %d", ErrBadMessage, b[2])
+	}
+	m.Type = MsgType(b[3])
+	m.At = time.Duration(binary.LittleEndian.Uint64(b[4:12]))
+	m.Rate = dot11.Rate(math.Float64frombits(binary.LittleEndian.Uint64(b[12:20])))
+	n := int(binary.LittleEndian.Uint16(b[20:22]))
+	if len(b) != headerLen+n {
+		return m, fmt.Errorf("%w: declared %d payload bytes, have %d", ErrBadMessage, n, len(b)-headerLen)
+	}
+	m.Payload = append([]byte(nil), b[headerLen:]...)
+	return m, nil
+}
+
+// InjectRequest is the payload of an Inject message.
+type InjectRequest struct {
+	DstPort     uint16
+	PayloadSize uint16
+}
+
+// marshalInject encodes an inject payload.
+func (r InjectRequest) marshal() []byte {
+	out := make([]byte, 4)
+	binary.LittleEndian.PutUint16(out[0:2], r.DstPort)
+	binary.LittleEndian.PutUint16(out[2:4], r.PayloadSize)
+	return out
+}
+
+// parseInject decodes an inject payload.
+func parseInject(b []byte) (InjectRequest, error) {
+	if len(b) != 4 {
+		return InjectRequest{}, fmt.Errorf("%w: inject payload %d bytes", ErrBadMessage, len(b))
+	}
+	return InjectRequest{
+		DstPort:     binary.LittleEndian.Uint16(b[0:2]),
+		PayloadSize: binary.LittleEndian.Uint16(b[2:4]),
+	}, nil
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Subscribers int
+	FramesSent  int
+	Injects     int
+	BadPackets  int
+}
+
+// Server relays monitor frames to taps and inject requests into the
+// simulation. It is safe for concurrent use: Publish is called from
+// the simulation loop while Serve reads the socket.
+type Server struct {
+	pc     net.PacketConn
+	inject func(InjectRequest)
+
+	mu    sync.Mutex
+	subs  map[string]net.Addr
+	stats Stats
+}
+
+// NewServer wraps a packet connection. inject is called (from the
+// Serve goroutine) for every valid inject request; nil disables
+// injection.
+func NewServer(pc net.PacketConn, inject func(InjectRequest)) *Server {
+	return &Server{pc: pc, inject: inject, subs: make(map[string]net.Addr)}
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() net.Addr { return s.pc.LocalAddr() }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Subscribers = len(s.subs)
+	return st
+}
+
+// Serve reads datagrams until the connection is closed. It returns
+// net.ErrClosed after Close.
+func (s *Server) Serve() error {
+	buf := make([]byte, headerLen+maxFrameLen)
+	for {
+		n, from, err := s.pc.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		m, err := Unmarshal(buf[:n])
+		if err != nil {
+			s.mu.Lock()
+			s.stats.BadPackets++
+			s.mu.Unlock()
+			continue
+		}
+		switch m.Type {
+		case MsgSubscribe:
+			s.mu.Lock()
+			s.subs[from.String()] = from
+			s.mu.Unlock()
+		case MsgUnsubscribe:
+			s.mu.Lock()
+			delete(s.subs, from.String())
+			s.mu.Unlock()
+		case MsgInject:
+			req, err := parseInject(m.Payload)
+			if err != nil {
+				s.mu.Lock()
+				s.stats.BadPackets++
+				s.mu.Unlock()
+				continue
+			}
+			s.mu.Lock()
+			s.stats.Injects++
+			inject := s.inject
+			s.mu.Unlock()
+			if inject != nil {
+				inject(req)
+			}
+		case MsgPing:
+			pong, err := Message{Type: MsgPong}.Marshal()
+			if err == nil {
+				_, _ = s.pc.WriteTo(pong, from)
+			}
+		default:
+			s.mu.Lock()
+			s.stats.BadPackets++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Close shuts the server down; Serve returns.
+func (s *Server) Close() error { return s.pc.Close() }
+
+// Publish streams one monitor frame to every subscriber. Send errors
+// drop the subscriber (taps that went away).
+func (s *Server) Publish(raw []byte, rate dot11.Rate, at time.Duration) {
+	if len(raw) > maxFrameLen {
+		return
+	}
+	msg, err := Message{Type: MsgFrame, At: at, Rate: rate, Payload: raw}.Marshal()
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, addr := range s.subs {
+		if _, err := s.pc.WriteTo(msg, addr); err != nil {
+			delete(s.subs, key)
+			continue
+		}
+		s.stats.FramesSent++
+	}
+}
+
+// Tap is a monitor-mode subscriber.
+type Tap struct {
+	conn net.Conn
+}
+
+// FrameEvent is one frame observed by a tap.
+type FrameEvent struct {
+	At   time.Duration
+	Rate dot11.Rate
+	Raw  []byte
+}
+
+// Dial connects a tap to a server and subscribes.
+func Dial(addr string) (*Tap, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netmedium: dialing server: %w", err)
+	}
+	t := &Tap{conn: conn}
+	msg, err := Message{Type: MsgSubscribe}.Marshal()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := conn.Write(msg); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netmedium: subscribing: %w", err)
+	}
+	return t, nil
+}
+
+// Next blocks for the next frame event, bounded by the deadline.
+func (t *Tap) Next(deadline time.Time) (FrameEvent, error) {
+	if err := t.conn.SetReadDeadline(deadline); err != nil {
+		return FrameEvent{}, err
+	}
+	buf := make([]byte, headerLen+maxFrameLen)
+	for {
+		n, err := t.conn.Read(buf)
+		if err != nil {
+			return FrameEvent{}, err
+		}
+		m, err := Unmarshal(buf[:n])
+		if err != nil || m.Type != MsgFrame {
+			continue
+		}
+		return FrameEvent{At: m.At, Rate: m.Rate, Raw: m.Payload}, nil
+	}
+}
+
+// Inject asks the server to enqueue a broadcast UDP frame.
+func (t *Tap) Inject(req InjectRequest) error {
+	msg, err := Message{Type: MsgInject, Payload: req.marshal()}.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = t.conn.Write(msg)
+	return err
+}
+
+// Close unsubscribes and closes the tap.
+func (t *Tap) Close() error {
+	if msg, err := (Message{Type: MsgUnsubscribe}).Marshal(); err == nil {
+		_, _ = t.conn.Write(msg)
+	}
+	return t.conn.Close()
+}

@@ -1,0 +1,128 @@
+package porttable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dot11"
+)
+
+func TestArrayTableBasics(t *testing.T) {
+	tab := NewArray()
+	tab.Update(1, []uint16{53, 5353})
+	tab.Update(2, []uint16{5353})
+	if got := tab.Lookup(5353); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Lookup = %v", got)
+	}
+	if !tab.Listening(53, 1) || tab.Listening(53, 2) {
+		t.Fatal("Listening wrong")
+	}
+	if tab.Len() != 3 || tab.Clients() != 2 {
+		t.Fatalf("Len=%d Clients=%d", tab.Len(), tab.Clients())
+	}
+	tab.Remove(1)
+	if tab.Listening(53, 1) || !tab.Listening(5353, 2) {
+		t.Fatal("Remove wrong")
+	}
+	if tab.Lookup(9999) != nil {
+		t.Fatal("missing port returned entries")
+	}
+}
+
+func TestArrayTableReplaceAndDuplicates(t *testing.T) {
+	tab := NewArray()
+	tab.Update(7, []uint16{100, 100, 200})
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (dup collapsed)", tab.Len())
+	}
+	tab.Update(7, []uint16{300})
+	if tab.Listening(100, 7) || tab.Listening(200, 7) || !tab.Listening(300, 7) {
+		t.Fatal("Update did not replace old ports")
+	}
+}
+
+// TestTablesEquivalentProperty drives both implementations with the
+// same update sequence and checks they answer identically — the
+// ablation's correctness premise.
+func TestTablesEquivalentProperty(t *testing.T) {
+	f := func(updates []struct {
+		AID   uint8
+		Ports []uint16
+	}, probes []uint16) bool {
+		h := New()
+		a := NewArray()
+		for _, u := range updates {
+			aid := dot11.AID(u.AID%50 + 1)
+			ports := u.Ports
+			if len(ports) > 30 {
+				ports = ports[:30]
+			}
+			h.Update(aid, ports)
+			a.Update(aid, ports)
+		}
+		if h.Len() != a.Len() || h.Clients() != a.Clients() {
+			return false
+		}
+		for _, p := range probes {
+			hGot, aGot := h.Lookup(p), a.Lookup(p)
+			if len(hGot) != len(aGot) {
+				return false
+			}
+			for i := range hGot {
+				if hGot[i] != aGot[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHashTableLookup(b *testing.B) {
+	tab := New()
+	for aid := dot11.AID(1); aid <= 50; aid++ {
+		tab.Update(aid, []uint16{uint16(5000 + aid%25), 5353})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(uint16(5000 + i%30))
+	}
+}
+
+func BenchmarkArrayTableLookup(b *testing.B) {
+	tab := NewArray()
+	for aid := dot11.AID(1); aid <= 50; aid++ {
+		tab.Update(aid, []uint16{uint16(5000 + aid%25), 5353})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(uint16(5000 + i%30))
+	}
+}
+
+func BenchmarkHashTableUpdate(b *testing.B) {
+	tab := New()
+	ports := make([]uint16, 50)
+	for i := range ports {
+		ports[i] = uint16(1024 + i*3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Update(dot11.AID(1+i%50), ports)
+	}
+}
+
+func BenchmarkArrayTableUpdate(b *testing.B) {
+	tab := NewArray()
+	ports := make([]uint16, 50)
+	for i := range ports {
+		ports[i] = uint16(1024 + i*3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Update(dot11.AID(1+i%50), ports)
+	}
+}

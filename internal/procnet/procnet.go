@@ -1,0 +1,131 @@
+// Package procnet collects the open UDP ports of the local system —
+// the information a deployed HIDE client reports to the AP in its UDP
+// Port Messages. On Linux the kernel exposes UDP sockets in
+// /proc/net/udp and /proc/net/udp6; the paper's client reports only
+// sockets bound to the wildcard address (INADDR_ANY), because those
+// are the ones a broadcast datagram could actually reach.
+package procnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Socket is one parsed UDP socket table entry.
+type Socket struct {
+	// LocalIP is the hex-decoded local address (4 bytes for udp, 16
+	// for udp6).
+	LocalIP []byte
+	// LocalPort is the bound port.
+	LocalPort uint16
+	// Wildcard reports whether the socket is bound to INADDR_ANY (or
+	// in6addr_any).
+	Wildcard bool
+}
+
+// ParseTable parses the /proc/net/udp (or udp6) format: a header line
+// followed by entries whose second column is local_address in
+// "HEXIP:HEXPORT" form.
+func ParseTable(r io.Reader) ([]Socket, error) {
+	sc := bufio.NewScanner(r)
+	var out []Socket
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if lineNo == 1 || line == "" {
+			continue // header
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("procnet: line %d: too few columns", lineNo)
+		}
+		sock, err := parseLocalAddress(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("procnet: line %d: %w", lineNo, err)
+		}
+		out = append(out, sock)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("procnet: reading table: %w", err)
+	}
+	return out, nil
+}
+
+// parseLocalAddress decodes "HEXIP:HEXPORT".
+func parseLocalAddress(s string) (Socket, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return Socket{}, fmt.Errorf("malformed local_address %q", s)
+	}
+	ipHex, portHex := s[:i], s[i+1:]
+	if len(ipHex) != 8 && len(ipHex) != 32 {
+		return Socket{}, fmt.Errorf("local address %q is neither IPv4 nor IPv6", s)
+	}
+	port64, err := strconv.ParseUint(portHex, 16, 16)
+	if err != nil {
+		return Socket{}, fmt.Errorf("bad port in %q: %w", s, err)
+	}
+	ip := make([]byte, len(ipHex)/2)
+	wildcard := true
+	for j := 0; j < len(ip); j++ {
+		b64, err := strconv.ParseUint(ipHex[2*j:2*j+2], 16, 8)
+		if err != nil {
+			return Socket{}, fmt.Errorf("bad address in %q: %w", s, err)
+		}
+		ip[j] = byte(b64)
+		if ip[j] != 0 {
+			wildcard = false
+		}
+	}
+	return Socket{LocalIP: ip, LocalPort: uint16(port64), Wildcard: wildcard}, nil
+}
+
+// WildcardPorts returns the sorted, de-duplicated ports of sockets
+// bound to the wildcard address — the set a HIDE client reports
+// (paper §III-B: "a client only reports UDP ports associated with the
+// source address INADDR ANY").
+func WildcardPorts(socks []Socket) []uint16 {
+	seen := make(map[uint16]struct{})
+	for _, s := range socks {
+		if s.Wildcard {
+			seen[s.LocalPort] = struct{}{}
+		}
+	}
+	out := make([]uint16, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LocalOpenPorts reads this machine's /proc/net/udp (and udp6 when
+// present) and returns the wildcard-bound UDP ports. It only works on
+// Linux; other platforms get an error.
+func LocalOpenPorts() ([]uint16, error) {
+	var socks []Socket
+	found := false
+	for _, path := range []string{"/proc/net/udp", "/proc/net/udp6"} {
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		found = true
+		s, perr := ParseTable(f)
+		f.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("procnet: %s: %w", path, perr)
+		}
+		socks = append(socks, s...)
+	}
+	if !found {
+		return nil, fmt.Errorf("procnet: no /proc/net/udp tables (not Linux?)")
+	}
+	return WildcardPorts(socks), nil
+}

@@ -1,0 +1,127 @@
+package procnet
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// sampleUDP mirrors real /proc/net/udp content: mDNS and DHCP bound to
+// the wildcard, DNS bound to localhost.
+const sampleUDP = `  sl  local_address rem_address   st tx_queue rx_queue tr tm->when retrnsmt   uid  timeout inode ref pointer drops
+  283: 00000000:14E9 00000000:0000 07 00000000:00000000 00:00000000 00000000   108        0 21337 2 0000000000000000 0
+  397: 0100007F:0035 00000000:0000 07 00000000:00000000 00:00000000 00000000   101        0 24802 2 0000000000000000 0
+  635: 00000000:0044 00000000:0000 07 00000000:00000000 00:00000000 00000000     0        0 20838 2 0000000000000000 0
+  731: 3500A8C0:BFCF 00000000:0000 07 00000000:00000000 00:00000000 00000000  1000        0 31907 2 0000000000000000 0
+`
+
+const sampleUDP6 = `  sl  local_address                         rem_address                        st tx_queue rx_queue tr tm->when retrnsmt   uid  timeout inode ref pointer drops
+  283: 00000000000000000000000000000000:14E9 00000000000000000000000000000000:0000 07 00000000:00000000 00:00000000 00000000   108        0 21338 2 0000000000000000 0
+  890: 00000000000000000000000001000000:0222 00000000000000000000000000000000:0000 07 00000000:00000000 00:00000000 00000000     0        0 99999 2 0000000000000000 0
+`
+
+func TestParseTableIPv4(t *testing.T) {
+	socks, err := ParseTable(strings.NewReader(sampleUDP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(socks) != 4 {
+		t.Fatalf("parsed %d sockets, want 4", len(socks))
+	}
+	// 0x14E9 = 5353 on wildcard.
+	if socks[0].LocalPort != 5353 || !socks[0].Wildcard {
+		t.Errorf("socket 0: %+v", socks[0])
+	}
+	// 0x0035 = 53 on 127.0.0.1 (hex is little-endian per 32-bit word).
+	if socks[1].LocalPort != 53 || socks[1].Wildcard {
+		t.Errorf("socket 1: %+v", socks[1])
+	}
+	// 0x0044 = 68 (DHCP client) on wildcard.
+	if socks[2].LocalPort != 68 || !socks[2].Wildcard {
+		t.Errorf("socket 2: %+v", socks[2])
+	}
+	// Specific interface address: not wildcard.
+	if socks[3].Wildcard {
+		t.Errorf("socket 3 should not be wildcard: %+v", socks[3])
+	}
+}
+
+func TestParseTableIPv6(t *testing.T) {
+	socks, err := ParseTable(strings.NewReader(sampleUDP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(socks) != 2 {
+		t.Fatalf("parsed %d sockets, want 2", len(socks))
+	}
+	if socks[0].LocalPort != 5353 || !socks[0].Wildcard {
+		t.Errorf("socket 0: %+v", socks[0])
+	}
+	if socks[1].Wildcard {
+		t.Errorf("socket 1 bound to ::1 must not be wildcard: %+v", socks[1])
+	}
+}
+
+func TestWildcardPorts(t *testing.T) {
+	v4, err := ParseTable(strings.NewReader(sampleUDP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v6, err := ParseTable(strings.NewReader(sampleUDP6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := WildcardPorts(append(v4, v6...))
+	// 5353 appears in both tables but is reported once; 68 from v4.
+	want := []uint16{68, 5353}
+	if len(ports) != len(want) {
+		t.Fatalf("ports = %v, want %v", ports, want)
+	}
+	for i := range want {
+		if ports[i] != want[i] {
+			t.Fatalf("ports = %v, want %v", ports, want)
+		}
+	}
+}
+
+func TestParseTableRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"header\nonecolumn\n",
+		"header\n  1: zzzzzzzz:0035 rest 07\n",
+		"header\n  1: 00000000 rest 07\n",
+		"header\n  1: 000000:0035 rest 07\n",
+		"header\n  1: 00000000:GGGG rest 07\n",
+	}
+	for i, c := range cases {
+		if _, err := ParseTable(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestParseTableEmptyAndHeaderOnly(t *testing.T) {
+	socks, err := ParseTable(strings.NewReader("  sl  local_address ...\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(socks) != 0 {
+		t.Fatalf("header-only table produced %d sockets", len(socks))
+	}
+}
+
+func TestLocalOpenPorts(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("requires /proc/net/udp")
+	}
+	ports, err := LocalOpenPorts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No specific ports guaranteed, but the call must succeed and the
+	// result be sorted and unique.
+	for i := 1; i < len(ports); i++ {
+		if ports[i] <= ports[i-1] {
+			t.Fatalf("ports not sorted/unique: %v", ports)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"context"
+	"time"
+)
+
+// RunRealtime drives the engine against the wall clock: virtual time 0
+// is pinned to the moment of the call, and each queued event fires
+// when its virtual timestamp comes due in wall time. External inputs
+// (e.g. frames arriving on a real socket) are delivered through the
+// inject channel; each injected function runs on the engine goroutine
+// with the clock advanced to "now", so it can safely interact with
+// engine-scheduled state — this is how the hided/hidec daemons marry
+// socket I/O to the single-threaded protocol entities.
+//
+// RunRealtime returns when ctx is cancelled (ctx.Err()) or when the
+// inject channel is closed (nil). It must not be called while another
+// Run variant is active.
+func (e *Engine) RunRealtime(ctx context.Context, inject <-chan Event) error {
+	if e.running {
+		panic("sim: RunRealtime called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	epoch := time.Now().Add(-e.now) // preserve an already-advanced clock
+	vnow := func() time.Duration { return time.Since(epoch) }
+
+	// catchUp dispatches everything due at the current wall instant.
+	// It mirrors RunUntil but without the running-flag guard.
+	catchUp := func() {
+		limit := vnow()
+		for {
+			next, ok := e.peek()
+			if !ok || next > limit {
+				break
+			}
+			e.Step()
+		}
+		if limit > e.now {
+			e.now = limit
+		}
+	}
+
+	for {
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if next, ok := e.peek(); ok {
+			delay := next - vnow()
+			if delay < 0 {
+				delay = 0
+			}
+			timer = time.NewTimer(delay)
+			timerC = timer.C
+		}
+		select {
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return ctx.Err()
+		case <-timerC:
+			catchUp()
+		case fn, ok := <-inject:
+			if timer != nil {
+				timer.Stop()
+			}
+			if !ok {
+				return nil
+			}
+			catchUp()
+			fn(e.now)
+		}
+	}
+}

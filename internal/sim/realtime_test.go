@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRunRealtimeDispatchesAtWallPace(t *testing.T) {
+	e := New()
+	var fired []time.Duration
+	for _, at := range []time.Duration{10 * time.Millisecond, 30 * time.Millisecond} {
+		at := at
+		e.MustScheduleAt(at, func(now time.Duration) { fired = append(fired, now) })
+	}
+	inject := make(chan Event)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	go func() {
+		// Close inject once both events have had time to fire.
+		time.Sleep(100 * time.Millisecond)
+		close(inject)
+	}()
+	if err := e.RunRealtime(ctx, inject); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if fired[0] != 10*time.Millisecond || fired[1] != 30*time.Millisecond {
+		t.Fatalf("virtual fire times %v", fired)
+	}
+	if elapsed < 30*time.Millisecond {
+		t.Fatalf("returned after %v; events cannot have fired at wall pace", elapsed)
+	}
+}
+
+func TestRunRealtimeInjection(t *testing.T) {
+	e := New()
+	inject := make(chan Event, 1)
+	got := make(chan time.Duration, 1)
+	inject <- func(now time.Duration) {
+		got <- now
+		// Injected code can schedule engine events.
+		e.MustScheduleAfter(time.Millisecond, func(time.Duration) {})
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(inject)
+	}()
+	if err := e.RunRealtime(context.Background(), inject); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case now := <-got:
+		if now < 0 {
+			t.Fatalf("injected at negative virtual time %v", now)
+		}
+	default:
+		t.Fatal("injection never ran")
+	}
+	if e.Fired() != 1 {
+		t.Fatalf("scheduled-from-injection event fired %d times, want 1", e.Fired())
+	}
+}
+
+func TestRunRealtimeCancellation(t *testing.T) {
+	e := New()
+	e.MustScheduleAt(time.Hour, func(time.Duration) { t.Error("distant event fired") })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := e.RunRealtime(ctx, make(chan Event))
+	if err == nil {
+		t.Fatal("cancelled run returned nil")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation not prompt")
+	}
+}
+
+func TestRunRealtimeReentrantPanics(t *testing.T) {
+	e := New()
+	inject := make(chan Event, 1)
+	inject <- func(time.Duration) {
+		defer func() {
+			if recover() == nil {
+				t.Error("reentrant RunRealtime did not panic")
+			}
+		}()
+		_ = e.RunRealtime(context.Background(), nil)
+	}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(inject)
+	}()
+	if err := e.RunRealtime(context.Background(), inject); err != nil {
+		t.Fatal(err)
+	}
+}

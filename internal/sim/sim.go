@@ -1,0 +1,229 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of timed
+// events. Events scheduled for the same instant fire in the order they
+// were scheduled (stable FIFO tie-breaking), which keeps runs fully
+// deterministic for a given seed and schedule order.
+//
+// All simulation time is expressed as time.Duration offsets from the
+// start of the run. The engine never consults the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func(now time.Duration)
+
+// item is a scheduled event inside the queue.
+type item struct {
+	at   time.Duration
+	seq  uint64 // insertion order, breaks ties deterministically
+	fn   Event
+	done bool // cancelled
+	idx  int  // heap index, -1 once popped
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	it *item
+}
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (h Handle) Cancel() bool {
+	if h.it == nil || h.it.done {
+		return false
+	}
+	h.it.done = true
+	h.it.fn = nil
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h Handle) Pending() bool { return h.it != nil && !h.it.done }
+
+// At returns the virtual time the event is scheduled for.
+func (h Handle) At() time.Duration {
+	if h.it == nil {
+		return 0
+	}
+	return h.it.at
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*item
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.idx = -1
+	*q = old[:n-1]
+	return it
+}
+
+// ErrSchedulePast is returned when an event is scheduled before the
+// current virtual time.
+var ErrSchedulePast = errors.New("sim: event scheduled in the past")
+
+// Engine is a discrete-event simulation engine. The zero value is ready
+// to use; its clock starts at 0.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	running bool
+	stopped bool
+}
+
+// New returns a new Engine with its clock at 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events that have been dispatched.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled events that have not been drained yet.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ScheduleAt schedules fn to run at absolute virtual time at.
+// It returns an error if at is before the current time.
+func (e *Engine) ScheduleAt(at time.Duration, fn Event) (Handle, error) {
+	if at < e.now {
+		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrSchedulePast, at, e.now)
+	}
+	it := &item{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, it)
+	return Handle{it: it}, nil
+}
+
+// ScheduleAfter schedules fn to run delay after the current virtual time.
+// A negative delay is an error.
+func (e *Engine) ScheduleAfter(delay time.Duration, fn Event) (Handle, error) {
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// MustScheduleAt is ScheduleAt but panics on error. It is intended for
+// simulation setup code where a past timestamp is a programming bug.
+func (e *Engine) MustScheduleAt(at time.Duration, fn Event) Handle {
+	h, err := e.ScheduleAt(at, fn)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// MustScheduleAfter is ScheduleAfter but panics on error.
+func (e *Engine) MustScheduleAfter(delay time.Duration, fn Event) Handle {
+	h, err := e.ScheduleAfter(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Stop makes the current Run/RunUntil call return after the event being
+// dispatched completes. Pending events stay queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step dispatches the single next pending event, advancing the clock to
+// its timestamp. It reports whether an event was dispatched.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		it := heap.Pop(&e.queue).(*item)
+		if it.done {
+			continue
+		}
+		it.done = true
+		e.now = it.at
+		fn := it.fn
+		it.fn = nil
+		e.fired++
+		fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty or Stop is called.
+// It returns the final virtual time.
+func (e *Engine) Run() time.Duration {
+	return e.RunUntil(-1)
+}
+
+// RunUntil dispatches events with timestamps <= deadline, then advances
+// the clock to deadline if any events fired or the deadline exceeds the
+// current time. A negative deadline means "run to exhaustion".
+// It returns the final virtual time.
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	if e.running {
+		panic("sim: Run called reentrantly from an event handler")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok {
+			break
+		}
+		if deadline >= 0 && next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if deadline >= 0 && deadline > e.now {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// NextEventAt returns the timestamp of the next live event, if any.
+// Real-time drivers use it to decide how long to sleep between steps.
+func (e *Engine) NextEventAt() (time.Duration, bool) { return e.peek() }
+
+// peek returns the timestamp of the next live event.
+func (e *Engine) peek() (time.Duration, bool) {
+	for len(e.queue) > 0 {
+		it := e.queue[0]
+		if !it.done {
+			return it.at, true
+		}
+		heap.Pop(&e.queue)
+	}
+	return 0, false
+}

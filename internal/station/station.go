@@ -1,0 +1,574 @@
+// Package station implements a smartphone client for the protocol
+// simulation: power-save beacon processing, TIM/BTIM interpretation,
+// PS-Poll retrieval of buffered unicast frames, an open-UDP-port
+// registry standing in for application sockets, and the HIDE suspend
+// handshake — a UDP Port Message (with ACK-gated retransmission) sent
+// every time before the host enters suspend mode.
+//
+// The station records every frame its radio receives together with the
+// wakelock the frame triggered; the Section IV energy model consumes
+// that arrival log, so the protocol simulation and the analytic
+// pipeline are priced by the same code.
+package station
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/energy"
+	"repro/internal/medium"
+	"repro/internal/sim"
+)
+
+// Mode selects the station's broadcast-handling behaviour.
+type Mode int
+
+// Station modes.
+const (
+	// Legacy is the stock receive-all client: it wakes for the TIM
+	// broadcast bit and holds a full wakelock for every group frame.
+	Legacy Mode = iota
+	// ClientSide is the driver-filter client of [6]: same reception as
+	// Legacy, but useless frames get only a short driver wakelock.
+	ClientSide
+	// HIDE is the paper's client: it syncs open UDP ports to the AP
+	// before suspending and wakes for group traffic only when its BTIM
+	// bit is set.
+	HIDE
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Legacy:
+		return "legacy"
+	case ClientSide:
+		return "client-side"
+	case HIDE:
+		return "HIDE"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config configures a station.
+type Config struct {
+	// Addr is the station's MAC address.
+	Addr dot11.MACAddr
+	// BSSID is the AP it associates with.
+	BSSID dot11.MACAddr
+	// Mode selects broadcast handling.
+	Mode Mode
+	// Tau is the full processing wakelock (default 1 s).
+	Tau time.Duration
+	// DriverWakelock is the short wakelock ClientSide mode holds for a
+	// useless frame (default 100 ms).
+	DriverWakelock time.Duration
+	// CtrlRate is the rate for UDP Port Messages and PS-Polls (the
+	// paper sends port messages at the lowest rate, 1 Mb/s).
+	CtrlRate dot11.Rate
+	// AckTimeout bounds the wait for a UDP Port Message ACK before
+	// retransmission (default 60 ms).
+	AckTimeout time.Duration
+	// MaxRetries bounds port-message retransmissions (default 4).
+	MaxRetries int
+	// ListenInterval is the 802.11 listen interval in beacons: the
+	// radio wakes only for every ListenInterval-th beacon (default 1 =
+	// every beacon). Skipped beacons cost no energy but may carry DTIM
+	// group indications the station then misses — the classic power/
+	// latency trade-off, counted in Stats.DTIMsSkipped.
+	ListenInterval int
+	// SyncOnlyOnChange skips the pre-suspend UDP Port Message when the
+	// open-port set is unchanged since the last acknowledged sync — an
+	// optimization over the paper's send-every-suspend behaviour that
+	// trades the (already negligible) E2 overhead for reliance on the
+	// AP never losing association state. Skips are counted in
+	// Stats.PortMsgsSkipped.
+	SyncOnlyOnChange bool
+}
+
+// normalized fills defaults.
+func (c Config) normalized() Config {
+	if c.Tau <= 0 {
+		c.Tau = time.Second
+	}
+	if c.DriverWakelock <= 0 {
+		c.DriverWakelock = 100 * time.Millisecond
+	}
+	if c.CtrlRate <= 0 {
+		c.CtrlRate = dot11.Rate1Mbps
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 60 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 4
+	}
+	if c.ListenInterval <= 0 {
+		c.ListenInterval = 1
+	}
+	return c
+}
+
+// Stats counts station-side protocol activity.
+type Stats struct {
+	BeaconsHeard    int
+	GroupReceived   int
+	GroupUseful     int
+	GroupDropped    int
+	UnicastReceived int
+	PSPollsSent     int
+	PortMsgsSent    int
+	PortMsgRetries  int
+	ACKsReceived    int
+	Suspends        int
+	Wakeups         int
+	AssocRequests   int
+	BeaconsSkipped  int
+	DTIMsSkipped    int
+	PortMsgsSkipped int
+}
+
+// Station is the client entity. Create with New, Associate via the AP,
+// then call Join with the assigned AID.
+type Station struct {
+	cfg Config
+	eng *sim.Engine
+	med medium.Channel
+	aid dot11.AID
+
+	ports map[uint16]bool
+
+	listening bool // radio held on for a group-frame burst
+	suspended bool
+	wlExpiry  time.Duration
+	suspendEv sim.Handle
+
+	awaitingACK bool
+	retries     int
+	ackTimer    sim.Handle
+	lastPortMsg []uint16
+	syncedPorts []uint16 // last ACKed port set (for SyncOnlyOnChange)
+
+	associated   bool
+	assocRetries int
+	assocTimer   sim.Handle
+	beaconSeq    int
+
+	arrivals []energy.Arrival
+	stats    Stats
+}
+
+var _ medium.Node = (*Station)(nil)
+
+// New creates a station attached to the medium.
+func New(eng *sim.Engine, med medium.Channel, cfg Config) *Station {
+	cfg = cfg.normalized()
+	s := &Station{
+		cfg:   cfg,
+		eng:   eng,
+		med:   med,
+		ports: make(map[uint16]bool),
+	}
+	med.Attach(cfg.Addr, s)
+	return s
+}
+
+// Join records the AID assigned by the AP. The station starts in
+// active mode (association just happened) and immediately walks the
+// suspend path, which for a HIDE station sends the initial UDP Port
+// Message — the sync that seeds the AP's Client UDP Port Table.
+func (s *Station) Join(aid dot11.AID) error {
+	if !aid.Valid() {
+		return fmt.Errorf("station: invalid AID %d", aid)
+	}
+	s.aid = aid
+	s.associated = true
+	s.suspended = false
+	s.wlExpiry = s.eng.Now()
+	s.scheduleSuspendCheck()
+	return nil
+}
+
+// Associated reports whether the station has completed association.
+func (s *Station) Associated() bool { return s.associated }
+
+// StartAssociation performs the frame-level association exchange: the
+// station sends an AssocRequest — carrying its Open UDP Ports element
+// when in HIDE mode — and retries until the AP's AssocResponse arrives
+// or the retry budget is exhausted. On success the station behaves as
+// if Join had been called with the assigned AID.
+func (s *Station) StartAssociation(ssid string) {
+	if s.associated {
+		return
+	}
+	if len(ssid) > 32 {
+		// 802.11 SSID limit; clamping keeps marshalling infallible.
+		ssid = ssid[:32]
+	}
+	s.assocRetries = 0
+	s.sendAssocRequest(ssid)
+}
+
+// sendAssocRequest transmits one association attempt and arms the
+// retry timer.
+func (s *Station) sendAssocRequest(ssid string) {
+	req := &dot11.AssocRequest{
+		Header: dot11.MACHeader{
+			Addr1: s.cfg.BSSID, Addr2: s.cfg.Addr, Addr3: s.cfg.BSSID,
+			FC: dot11.FrameControl{Retry: s.assocRetries > 0},
+		},
+		SSID: ssid,
+	}
+	if s.cfg.Mode == HIDE {
+		req.HIDECapable = true
+		req.Ports = s.OpenPorts()
+	}
+	raw, err := req.Marshal()
+	if err != nil {
+		panic(fmt.Sprintf("station: assoc request marshal: %v", err))
+	}
+	s.med.Transmit(s.cfg.Addr, raw, s.cfg.CtrlRate)
+	s.stats.AssocRequests++
+	s.assocTimer.Cancel()
+	s.assocTimer = s.eng.MustScheduleAfter(s.cfg.AckTimeout, func(time.Duration) {
+		if s.associated {
+			return
+		}
+		s.assocRetries++
+		if s.assocRetries > s.cfg.MaxRetries {
+			return // give up; the station stays unassociated
+		}
+		s.sendAssocRequest(ssid)
+	})
+}
+
+// Leave sends a disassociation frame and detaches from the BSS: the
+// AP clears the station's port-table entries, and the station stops
+// processing traffic until it associates again.
+func (s *Station) Leave(reason uint16) {
+	if !s.associated {
+		return
+	}
+	d := &dot11.Disassoc{
+		Header: dot11.MACHeader{Addr1: s.cfg.BSSID, Addr2: s.cfg.Addr, Addr3: s.cfg.BSSID},
+		Reason: reason,
+	}
+	s.med.Transmit(s.cfg.Addr, d.Marshal(), s.cfg.CtrlRate)
+	s.associated = false
+	s.aid = 0
+	s.listening = false
+	s.awaitingACK = false
+	s.ackTimer.Cancel()
+	s.suspendEv.Cancel()
+	s.suspended = true
+}
+
+// handleAssocResponse completes the association exchange.
+func (s *Station) handleAssocResponse(raw []byte) {
+	resp, err := dot11.UnmarshalAssocResponse(raw)
+	if err != nil || s.associated {
+		return
+	}
+	if resp.Status != dot11.StatusSuccess || !resp.AID.Valid() {
+		return
+	}
+	s.assocTimer.Cancel()
+	// Join cannot fail here: the AID was just validated.
+	if err := s.Join(resp.AID); err != nil {
+		panic(fmt.Sprintf("station: join after assoc: %v", err))
+	}
+}
+
+// AID returns the association ID.
+func (s *Station) AID() dot11.AID { return s.aid }
+
+// Stats returns the protocol counters.
+func (s *Station) Stats() Stats { return s.stats }
+
+// Arrivals returns the recorded radio arrivals for energy analysis,
+// sorted by time.
+func (s *Station) Arrivals() []energy.Arrival {
+	out := append([]energy.Arrival(nil), s.arrivals...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Suspended reports whether the host is in suspend mode.
+func (s *Station) Suspended() bool { return s.suspended }
+
+// ListenInterval returns the configured listen interval in beacons.
+func (s *Station) ListenInterval() int { return s.cfg.ListenInterval }
+
+// OpenPort registers a listening UDP port (an application socket).
+func (s *Station) OpenPort(p uint16) { s.ports[p] = true }
+
+// ClosePort removes a listening UDP port.
+func (s *Station) ClosePort(p uint16) { delete(s.ports, p) }
+
+// OpenPorts returns the sorted open-port set.
+func (s *Station) OpenPorts() []uint16 {
+	out := make([]uint16, 0, len(s.ports))
+	for p := range s.ports {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Receive implements medium.Node.
+func (s *Station) Receive(raw []byte, rate dot11.Rate, now time.Duration) {
+	switch dot11.Classify(raw) {
+	case dot11.KindAssocResponse:
+		s.handleAssocResponse(raw)
+	case dot11.KindBeacon:
+		if s.associated {
+			s.handleBeacon(raw, now)
+		}
+	case dot11.KindData:
+		if s.associated {
+			s.handleData(raw, rate, now)
+		}
+	case dot11.KindACK:
+		s.handleACK(now)
+	}
+}
+
+// handleBeacon processes TIM/BTIM indications. The radio wakes for
+// every beacon regardless of host state (Section II).
+func (s *Station) handleBeacon(raw []byte, now time.Duration) {
+	b, err := dot11.UnmarshalBeacon(raw)
+	if err != nil {
+		return
+	}
+	// Listen interval: the radio sleeps through all but every LI-th
+	// beacon. Skipped DTIMs may hide group indications.
+	s.beaconSeq++
+	if s.cfg.ListenInterval > 1 && (s.beaconSeq-1)%s.cfg.ListenInterval != 0 {
+		s.stats.BeaconsSkipped++
+		if b.TIM != nil && b.TIM.DTIMCount == 0 {
+			s.stats.DTIMsSkipped++
+		}
+		return
+	}
+	s.stats.BeaconsHeard++
+
+	// Group bursts never span beacons: if the end-of-burst frame was
+	// lost (MoreData never cleared), the beacon ends the listen window
+	// so the radio does not stay on indefinitely.
+	if s.listening {
+		s.listening = false
+		if !s.suspended && !s.awaitingACK {
+			s.scheduleSuspendCheck()
+		}
+	}
+
+	// Unicast indication: poll for each buffered frame.
+	if b.TIM != nil && b.TIM.UnicastBuffered(s.aid) {
+		s.sendPSPoll()
+	}
+
+	// Group indication: HIDE stations trust their BTIM bit; legacy and
+	// client-side stations obey the standard broadcast bit. A HIDE
+	// station whose beacon lacks a BTIM (legacy AP) falls back to the
+	// standard behaviour, preserving coexistence in both directions.
+	isDTIM := b.TIM != nil && b.TIM.DTIMCount == 0
+	if !isDTIM {
+		return
+	}
+	switch {
+	case s.cfg.Mode == HIDE && b.BTIM != nil:
+		if b.BTIM.UsefulBroadcastBuffered(s.aid) {
+			s.listening = true
+		}
+	default:
+		if b.TIM != nil && b.TIM.Broadcast {
+			s.listening = true
+		}
+	}
+}
+
+// handleData receives group or unicast data frames.
+func (s *Station) handleData(raw []byte, rate dot11.Rate, now time.Duration) {
+	df, err := dot11.UnmarshalDataFrame(raw)
+	if err != nil {
+		return
+	}
+	if df.Header.Addr1 == s.cfg.Addr {
+		// Buffered unicast retrieved via PS-Poll.
+		s.stats.UnicastReceived++
+		s.recordArrival(raw, rate, now, df.Header.FC.MoreData, s.cfg.Tau)
+		if df.Header.FC.MoreData {
+			s.sendPSPoll()
+		}
+		return
+	}
+	if !df.Header.Addr1.IsMulticast() || !s.listening {
+		// Radio asleep for this frame (PS mode between beacons), or a
+		// unicast frame for someone else.
+		return
+	}
+	s.stats.GroupReceived++
+	useful := false
+	if port, err := dot11.DstUDPPort(df.Payload); err == nil {
+		useful = s.ports[port]
+	}
+	wl := s.cfg.Tau
+	switch s.cfg.Mode {
+	case ClientSide:
+		if !useful {
+			wl = s.cfg.DriverWakelock
+		}
+	case HIDE:
+		// The BTIM said something useful is in this burst; frames for
+		// other clients still ride along and the driver drops them.
+		if !useful {
+			wl = 0
+		}
+	}
+	if useful {
+		s.stats.GroupUseful++
+	} else {
+		s.stats.GroupDropped++
+	}
+	s.recordArrival(raw, rate, now, df.Header.FC.MoreData, wl)
+	if !df.Header.FC.MoreData {
+		s.listening = false
+	}
+}
+
+// recordArrival logs a radio arrival and drives the suspend machine.
+func (s *Station) recordArrival(raw []byte, rate dot11.Rate, now time.Duration, moreData bool, wl time.Duration) {
+	s.arrivals = append(s.arrivals, energy.Arrival{
+		At:       now,
+		Length:   len(raw),
+		Rate:     rate,
+		MoreData: moreData,
+		Wakelock: wl,
+	})
+	if s.suspended {
+		s.suspended = false
+		s.stats.Wakeups++
+	}
+	if exp := now + wl; exp > s.wlExpiry {
+		s.wlExpiry = exp
+	}
+	s.scheduleSuspendCheck()
+}
+
+// scheduleSuspendCheck (re)arms the wakelock-expiry event.
+func (s *Station) scheduleSuspendCheck() {
+	s.suspendEv.Cancel()
+	at := s.wlExpiry
+	if at < s.eng.Now() {
+		at = s.eng.Now()
+	}
+	s.suspendEv = s.eng.MustScheduleAt(at, s.trySuspend)
+}
+
+// trySuspend initiates suspend once all wakelocks have expired: a HIDE
+// station first synchronizes its open ports with the AP and waits for
+// the ACK (Figure 2's handshake).
+func (s *Station) trySuspend(now time.Duration) {
+	if s.suspended || s.awaitingACK || now < s.wlExpiry || s.listening {
+		return
+	}
+	if s.cfg.Mode == HIDE {
+		if s.cfg.SyncOnlyOnChange && s.syncedPorts != nil && equalPorts(s.syncedPorts, s.OpenPorts()) {
+			s.stats.PortMsgsSkipped++
+			s.completeSuspend()
+			return
+		}
+		s.retries = 0
+		s.sendPortMessage(now)
+		return
+	}
+	s.completeSuspend()
+}
+
+// sendPortMessage transmits the UDP Port Message and arms the ACK
+// timeout.
+func (s *Station) sendPortMessage(now time.Duration) {
+	s.lastPortMsg = s.OpenPorts()
+	msg := &dot11.UDPPortMessage{
+		Header: dot11.MACHeader{
+			Addr1: s.cfg.BSSID, Addr2: s.cfg.Addr, Addr3: s.cfg.BSSID,
+			FC: dot11.FrameControl{Retry: s.retries > 0},
+		},
+		Ports: s.lastPortMsg,
+	}
+	raw, err := msg.Marshal()
+	if err != nil {
+		// Port lists are bounded by the uint16 space; marshal cannot
+		// fail on real input, so treat failure as a bug.
+		panic(fmt.Sprintf("station: port message marshal: %v", err))
+	}
+	s.med.Transmit(s.cfg.Addr, raw, s.cfg.CtrlRate)
+	s.stats.PortMsgsSent++
+	if s.retries > 0 {
+		s.stats.PortMsgRetries++
+	}
+	s.awaitingACK = true
+	s.ackTimer.Cancel()
+	s.ackTimer = s.eng.MustScheduleAfter(s.cfg.AckTimeout, s.ackTimeout)
+}
+
+// ackTimeout retransmits the port message or gives up and suspends
+// anyway (the AP will simply have stale — conservative — information).
+func (s *Station) ackTimeout(now time.Duration) {
+	if !s.awaitingACK {
+		return
+	}
+	s.retries++
+	if s.retries > s.cfg.MaxRetries {
+		s.awaitingACK = false
+		s.completeSuspend()
+		return
+	}
+	s.sendPortMessage(now)
+}
+
+// handleACK completes the suspend handshake.
+func (s *Station) handleACK(now time.Duration) {
+	if !s.awaitingACK {
+		return
+	}
+	s.awaitingACK = false
+	s.ackTimer.Cancel()
+	s.stats.ACKsReceived++
+	s.syncedPorts = append([]uint16(nil), s.lastPortMsg...)
+	if now >= s.wlExpiry && !s.listening {
+		s.completeSuspend()
+	}
+}
+
+// completeSuspend puts the host into suspend mode.
+func (s *Station) completeSuspend() {
+	if s.suspended {
+		return
+	}
+	s.suspended = true
+	s.stats.Suspends++
+}
+
+// equalPorts compares two sorted port lists.
+func equalPorts(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sendPSPoll requests one buffered unicast frame.
+func (s *Station) sendPSPoll() {
+	poll := &dot11.PSPoll{AID: s.aid, BSSID: s.cfg.BSSID, TA: s.cfg.Addr}
+	s.med.Transmit(s.cfg.Addr, poll.Marshal(), s.cfg.CtrlRate)
+	s.stats.PSPollsSent++
+}

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/dot11"
+)
+
+// This file reads and writes traces in two interchange formats so that
+// real captures (e.g. tshark exports) can replace the synthetic
+// generators without touching any downstream code:
+//
+//   - CSV with header "at_us,length,rate_bps,dst_port,more_data"
+//   - JSON lines, one Frame object per line, preceded by a header line
+//     carrying the trace name and duration.
+
+// csvHeader is the required column layout.
+var csvHeader = []string{"at_us", "length", "rate_bps", "dst_port", "more_data"}
+
+// WriteCSV writes the trace in CSV form. The trace name and duration
+// ride in a "#name=...;duration_us=..." comment line before the header.
+func WriteCSV(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#name=%s;duration_us=%d\n", tr.Name, tr.Duration.Microseconds())
+	cw := csv.NewWriter(bw)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	rec := make([]string, 5)
+	for _, f := range tr.Frames {
+		rec[0] = strconv.FormatInt(f.At.Microseconds(), 10)
+		rec[1] = strconv.Itoa(f.Length)
+		rec[2] = strconv.FormatFloat(float64(f.Rate), 'f', -1, 64)
+		rec[3] = strconv.Itoa(int(f.DstPort))
+		rec[4] = strconv.FormatBool(f.MoreData)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	tr := &Trace{}
+	first, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV preamble: %w", err)
+	}
+	if len(first) > 0 && first[0] == '#' {
+		if _, err := fmt.Sscanf(first, "#name=%s", &tr.Name); err == nil {
+			// Name may embed the duration segment; split it out.
+			for i := range tr.Name {
+				if tr.Name[i] == ';' {
+					var durUS int64
+					fmt.Sscanf(tr.Name[i:], ";duration_us=%d", &durUS)
+					tr.Duration = time.Duration(durUS) * time.Microsecond
+					tr.Name = tr.Name[:i]
+					break
+				}
+			}
+		}
+	} else {
+		return nil, fmt.Errorf("trace: CSV missing #name preamble")
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = len(csvHeader)
+	hdr, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if hdr[i] != h {
+			return nil, fmt.Errorf("trace: CSV column %d is %q, want %q", i, hdr[i], h)
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV record: %w", err)
+		}
+		f, err := parseCSVRecord(rec)
+		if err != nil {
+			return nil, err
+		}
+		tr.Frames = append(tr.Frames, f)
+	}
+	if tr.Duration == 0 && len(tr.Frames) > 0 {
+		tr.Duration = tr.Frames[len(tr.Frames)-1].At + time.Second
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// parseCSVRecord converts one CSV record into a Frame.
+func parseCSVRecord(rec []string) (Frame, error) {
+	var f Frame
+	atUS, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return f, fmt.Errorf("trace: bad at_us %q: %w", rec[0], err)
+	}
+	f.At = time.Duration(atUS) * time.Microsecond
+	if f.Length, err = strconv.Atoi(rec[1]); err != nil {
+		return f, fmt.Errorf("trace: bad length %q: %w", rec[1], err)
+	}
+	rate, err := strconv.ParseFloat(rec[2], 64)
+	if err != nil {
+		return f, fmt.Errorf("trace: bad rate_bps %q: %w", rec[2], err)
+	}
+	f.Rate = dot11.Rate(rate)
+	port, err := strconv.Atoi(rec[3])
+	if err != nil || port < 0 || port > 65535 {
+		return f, fmt.Errorf("trace: bad dst_port %q", rec[3])
+	}
+	f.DstPort = uint16(port)
+	if f.MoreData, err = strconv.ParseBool(rec[4]); err != nil {
+		return f, fmt.Errorf("trace: bad more_data %q: %w", rec[4], err)
+	}
+	return f, nil
+}
+
+// jsonlHeader is the first line of a JSONL trace file.
+type jsonlHeader struct {
+	Name       string `json:"name"`
+	DurationUS int64  `json:"duration_us"`
+	Frames     int    `json:"frames"`
+}
+
+// jsonlFrame is the wire form of a Frame in JSONL traces.
+type jsonlFrame struct {
+	AtUS     int64   `json:"at_us"`
+	Length   int     `json:"length"`
+	RateBPS  float64 `json:"rate_bps"`
+	DstPort  uint16  `json:"dst_port"`
+	MoreData bool    `json:"more_data,omitempty"`
+}
+
+// WriteJSONL writes the trace as JSON lines.
+func WriteJSONL(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Name: tr.Name, DurationUS: tr.Duration.Microseconds(), Frames: len(tr.Frames)}); err != nil {
+		return err
+	}
+	for _, f := range tr.Frames {
+		jf := jsonlFrame{
+			AtUS: f.At.Microseconds(), Length: f.Length,
+			RateBPS: float64(f.Rate), DstPort: f.DstPort, MoreData: f.MoreData,
+		}
+		if err := enc.Encode(jf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr jsonlHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading JSONL header: %w", err)
+	}
+	tr := &Trace{Name: hdr.Name, Duration: time.Duration(hdr.DurationUS) * time.Microsecond}
+	for {
+		var jf jsonlFrame
+		if err := dec.Decode(&jf); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: reading JSONL frame: %w", err)
+		}
+		tr.Frames = append(tr.Frames, Frame{
+			At: time.Duration(jf.AtUS) * time.Microsecond, Length: jf.Length,
+			Rate: dot11.Rate(jf.RateBPS), DstPort: jf.DstPort, MoreData: jf.MoreData,
+		})
+	}
+	if hdr.Frames != len(tr.Frames) {
+		return nil, fmt.Errorf("trace: JSONL header declares %d frames, read %d", hdr.Frames, len(tr.Frames))
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

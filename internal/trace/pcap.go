@@ -1,0 +1,363 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dot11"
+)
+
+// This file imports and exports traces in classic libpcap format so
+// the evaluation pipeline can run on real captures (e.g. from tcpdump
+// or tshark). Three link types are supported:
+//
+//   - Ethernet (DLT 1): broadcast/multicast UDP datagrams, as captured
+//     on the AP's wired side. Rates are not available and default to
+//     1 Mb/s (the basic rate broadcast goes out at).
+//   - IEEE 802.11 (DLT 105): raw frames as produced by this package's
+//     own dot11 encoder or a monitor-mode capture without radiotap.
+//   - Radiotap (DLT 127): monitor-mode captures; the radiotap header's
+//     Rate field supplies the per-frame PHY rate when present.
+//
+// Only UDP-padded group-addressed data frames become trace entries;
+// everything else (beacons, ACKs, unicast, non-UDP) is skipped, which
+// is exactly the filtering the paper applies to its captures.
+
+// pcap file format constants.
+const (
+	pcapMagicMicros = 0xa1b2c3d4
+	pcapMagicNanos  = 0xa1b23c4d
+
+	// DLTEthernet, DLT80211 and DLTRadiotap are the supported link
+	// types.
+	DLTEthernet uint32 = 1
+	DLT80211    uint32 = 105
+	DLTRadiotap uint32 = 127
+)
+
+// pcapGlobalHeaderLen and pcapRecordHeaderLen are fixed sizes.
+const (
+	pcapGlobalHeaderLen = 24
+	pcapRecordHeaderLen = 16
+)
+
+// PCAPOptions tunes the importer.
+type PCAPOptions struct {
+	// Name labels the resulting trace.
+	Name string
+	// DefaultRate is used when the capture carries no rate information
+	// (Ethernet captures, radiotap without a Rate field). Zero means
+	// 1 Mb/s.
+	DefaultRate dot11.Rate
+}
+
+// ReadPCAP parses a classic pcap capture into a Trace.
+func ReadPCAP(r io.Reader, opts PCAPOptions) (*Trace, error) {
+	if opts.DefaultRate <= 0 {
+		opts.DefaultRate = dot11.Rate1Mbps
+	}
+	var gh [pcapGlobalHeaderLen]byte
+	if _, err := io.ReadFull(r, gh[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading pcap global header: %w", err)
+	}
+	var order binary.ByteOrder
+	var nanos bool
+	switch magic := binary.LittleEndian.Uint32(gh[:4]); magic {
+	case pcapMagicMicros:
+		order = binary.LittleEndian
+	case pcapMagicNanos:
+		order, nanos = binary.LittleEndian, true
+	default:
+		switch magic := binary.BigEndian.Uint32(gh[:4]); magic {
+		case pcapMagicMicros:
+			order = binary.BigEndian
+		case pcapMagicNanos:
+			order, nanos = binary.BigEndian, true
+		default:
+			return nil, fmt.Errorf("trace: not a pcap file (magic %#08x)", magic)
+		}
+	}
+	linkType := order.Uint32(gh[20:24])
+	switch linkType {
+	case DLTEthernet, DLT80211, DLTRadiotap:
+	default:
+		return nil, fmt.Errorf("trace: unsupported pcap link type %d", linkType)
+	}
+
+	tr := &Trace{Name: opts.Name}
+	var first time.Duration
+	haveFirst := false
+	var rec [pcapRecordHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: reading pcap record header: %w", err)
+		}
+		sec := order.Uint32(rec[0:4])
+		sub := order.Uint32(rec[4:8])
+		capLen := order.Uint32(rec[8:12])
+		origLen := order.Uint32(rec[12:16])
+		if capLen > 1<<20 {
+			return nil, fmt.Errorf("trace: implausible pcap capture length %d", capLen)
+		}
+		pkt := make([]byte, capLen)
+		if _, err := io.ReadFull(r, pkt); err != nil {
+			return nil, fmt.Errorf("trace: reading pcap packet body: %w", err)
+		}
+		ts := time.Duration(sec) * time.Second
+		if nanos {
+			ts += time.Duration(sub) * time.Nanosecond
+		} else {
+			ts += time.Duration(sub) * time.Microsecond
+		}
+		if !haveFirst {
+			haveFirst = true
+			// Real captures carry epoch timestamps; rebase those to the
+			// first packet. Captures that already use small relative
+			// offsets (e.g. WritePCAP exports) keep them, so a write/
+			// read cycle is lossless.
+			if ts > 24*time.Hour {
+				first = ts
+			}
+		}
+		f, ok := decodePacket(linkType, pkt, int(origLen), opts.DefaultRate)
+		if !ok {
+			continue
+		}
+		f.At = ts - first
+		tr.Frames = append(tr.Frames, f)
+	}
+	tr.Sort()
+	if n := len(tr.Frames); n > 0 {
+		tr.Duration = tr.Frames[n-1].At + time.Second
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// decodePacket extracts a broadcast UDP frame from one captured packet.
+func decodePacket(linkType uint32, pkt []byte, origLen int, defRate dot11.Rate) (Frame, bool) {
+	switch linkType {
+	case DLTEthernet:
+		return decodeEthernet(pkt, origLen, defRate)
+	case DLT80211:
+		return decode80211(pkt, origLen, defRate)
+	case DLTRadiotap:
+		hdrLen, rate, ok := parseRadiotap(pkt)
+		if !ok {
+			return Frame{}, false
+		}
+		if rate <= 0 {
+			rate = defRate
+		}
+		return decode80211(pkt[hdrLen:], origLen-hdrLen, rate)
+	}
+	return Frame{}, false
+}
+
+// decodeEthernet extracts broadcast/multicast UDP over IPv4.
+func decodeEthernet(pkt []byte, origLen int, rate dot11.Rate) (Frame, bool) {
+	const ethHdrLen = 14
+	if len(pkt) < ethHdrLen {
+		return Frame{}, false
+	}
+	var dst dot11.MACAddr
+	copy(dst[:], pkt[0:6])
+	if !dst.IsMulticast() {
+		return Frame{}, false
+	}
+	if et := uint16(pkt[12])<<8 | uint16(pkt[13]); et != 0x0800 {
+		return Frame{}, false
+	}
+	port, ok := ipv4UDPDstPort(pkt[ethHdrLen:])
+	if !ok {
+		return Frame{}, false
+	}
+	// Express the length as the equivalent 802.11 frame: swap the
+	// Ethernet header for MAC header + LLC/SNAP.
+	length := origLen - ethHdrLen + dot11.MACHeaderLen + dot11.LLCSNAPLen
+	return Frame{Length: length, Rate: rate, DstPort: port}, true
+}
+
+// decode80211 extracts group-addressed UDP data frames.
+func decode80211(pkt []byte, origLen int, rate dot11.Rate) (Frame, bool) {
+	if dot11.Classify(pkt) != dot11.KindData {
+		return Frame{}, false
+	}
+	df, err := dot11.UnmarshalDataFrame(pkt)
+	if err != nil || !df.Header.Addr1.IsMulticast() {
+		return Frame{}, false
+	}
+	port, err := dot11.DstUDPPort(df.Payload)
+	if err != nil {
+		return Frame{}, false
+	}
+	if origLen < len(pkt) {
+		origLen = len(pkt)
+	}
+	return Frame{
+		Length: origLen, Rate: rate, DstPort: port,
+		MoreData: df.Header.FC.MoreData,
+	}, true
+}
+
+// ipv4UDPDstPort pulls the UDP destination port out of an IPv4 packet.
+func ipv4UDPDstPort(ip []byte) (uint16, bool) {
+	if len(ip) < 20 || ip[0]>>4 != 4 {
+		return 0, false
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < 20 || len(ip) < ihl+4 || ip[9] != 17 {
+		return 0, false
+	}
+	return uint16(ip[ihl+2])<<8 | uint16(ip[ihl+3]), true
+}
+
+// radiotap field sizes and alignments for present bits 0..13, enough
+// to locate the Rate field (bit 2). See radiotap.org.
+var radiotapFields = []struct{ size, align int }{
+	{8, 8}, // 0 TSFT
+	{1, 1}, // 1 Flags
+	{1, 1}, // 2 Rate
+	{4, 2}, // 3 Channel (freq + flags)
+	{2, 2}, // 4 FHSS
+	{1, 1}, // 5 dBm antenna signal
+	{1, 1}, // 6 dBm antenna noise
+	{2, 2}, // 7 lock quality
+	{2, 2}, // 8 TX attenuation
+	{2, 2}, // 9 dB TX attenuation
+	{1, 1}, // 10 dBm TX power
+	{1, 1}, // 11 antenna
+	{1, 1}, // 12 dB antenna signal
+	{1, 1}, // 13 dB antenna noise
+}
+
+// parseRadiotap returns the radiotap header length and the PHY rate
+// (0 when absent). It handles chained present words.
+func parseRadiotap(pkt []byte) (hdrLen int, rate dot11.Rate, ok bool) {
+	if len(pkt) < 8 || pkt[0] != 0 {
+		return 0, 0, false
+	}
+	hdrLen = int(binary.LittleEndian.Uint16(pkt[2:4]))
+	if hdrLen < 8 || hdrLen > len(pkt) {
+		return 0, 0, false
+	}
+	// Collect present words (bit 31 chains to another word).
+	present := []uint32{binary.LittleEndian.Uint32(pkt[4:8])}
+	off := 8
+	for present[len(present)-1]&(1<<31) != 0 {
+		if off+4 > hdrLen {
+			return 0, 0, false
+		}
+		present = append(present, binary.LittleEndian.Uint32(pkt[off:off+4]))
+		off += 4
+	}
+	// Walk the first present word's fields up to the Rate bit. Fields
+	// beyond our table stop the walk (we only need Rate, bit 2).
+	p := present[0]
+	for bit := 0; bit < len(radiotapFields); bit++ {
+		if p&(1<<uint(bit)) == 0 {
+			continue
+		}
+		f := radiotapFields[bit]
+		if rem := off % f.align; rem != 0 {
+			off += f.align - rem
+		}
+		if off+f.size > hdrLen {
+			return 0, 0, false
+		}
+		if bit == 2 {
+			// Rate in units of 500 kb/s.
+			return hdrLen, dot11.Rate(float64(pkt[off]) * 500e3), true
+		}
+		off += f.size
+	}
+	return hdrLen, 0, true
+}
+
+// PCAPRecord is one raw captured frame for WritePCAPRecords.
+type PCAPRecord struct {
+	At  time.Duration
+	Raw []byte
+}
+
+// WritePCAPRecords writes raw 802.11 frames (e.g. from the medium's
+// monitor tap) as a DLT 105 pcap capture, preserving their bytes
+// exactly. ReadPCAP turns such a capture back into a broadcast trace.
+func WritePCAPRecords(w io.Writer, recs []PCAPRecord) error {
+	var gh [pcapGlobalHeaderLen]byte
+	binary.LittleEndian.PutUint32(gh[0:4], pcapMagicMicros)
+	binary.LittleEndian.PutUint16(gh[4:6], 2)
+	binary.LittleEndian.PutUint16(gh[6:8], 4)
+	binary.LittleEndian.PutUint32(gh[16:20], 65535)
+	binary.LittleEndian.PutUint32(gh[20:24], DLT80211)
+	if _, err := w.Write(gh[:]); err != nil {
+		return err
+	}
+	var rec [pcapRecordHeaderLen]byte
+	for _, r := range recs {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(r.At/time.Second))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(r.At%time.Second/time.Microsecond))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(r.Raw)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(r.Raw)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(r.Raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePCAP exports the trace as an 802.11 (DLT 105) pcap capture:
+// each trace frame becomes a group-addressed UDP data frame encoded by
+// the dot11 package, so external tools (wireshark, tshark) can inspect
+// generated traces and ReadPCAP round-trips them.
+func WritePCAP(w io.Writer, tr *Trace) error {
+	var gh [pcapGlobalHeaderLen]byte
+	binary.LittleEndian.PutUint32(gh[0:4], pcapMagicMicros)
+	binary.LittleEndian.PutUint16(gh[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(gh[6:8], 4) // version minor
+	binary.LittleEndian.PutUint32(gh[16:20], 65535)
+	binary.LittleEndian.PutUint32(gh[20:24], DLT80211)
+	if _, err := w.Write(gh[:]); err != nil {
+		return err
+	}
+	src := dot11.MACAddr{0x02, 0x1d, 0xe0, 0xff, 0xff, 0xfe}
+	var rec [pcapRecordHeaderLen]byte
+	for i, f := range tr.Frames {
+		payloadLen := f.Length - dot11.MACHeaderLen - dot11.UDPEncapsLen
+		if payloadLen < 0 {
+			payloadLen = 0
+		}
+		df := &dot11.DataFrame{
+			Header: dot11.MACHeader{
+				FC:    dot11.FrameControl{FromDS: true, MoreData: f.MoreData},
+				Addr1: dot11.Broadcast, Addr2: src, Addr3: src,
+				Seq: uint16(i&0x0fff) << 4,
+			},
+			Payload: dot11.EncapsulateUDP(dot11.UDPDatagram{
+				DstIP: [4]byte{255, 255, 255, 255}, DstPort: f.DstPort,
+				Payload: make([]byte, payloadLen),
+			}),
+		}
+		raw := df.Marshal()
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(f.At/time.Second))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(f.At%time.Second/time.Microsecond))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(raw)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(raw)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}

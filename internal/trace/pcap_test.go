@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/dot11"
+)
+
+func TestPCAPRoundTrip(t *testing.T) {
+	tr, err := GenerateScenario(Starbucks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePCAP(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPCAP(&buf, PCAPOptions{Name: tr.Name, DefaultRate: dot11.Rate1Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frames) != len(tr.Frames) {
+		t.Fatalf("round trip lost frames: %d vs %d", len(got.Frames), len(tr.Frames))
+	}
+	for i := range tr.Frames {
+		w, g := tr.Frames[i], got.Frames[i]
+		// Timestamps round to microseconds; rate does not survive DLT
+		// 105 (no radiotap) and reverts to the default.
+		if g.At.Truncate(time.Microsecond) != w.At.Truncate(time.Microsecond) {
+			t.Fatalf("frame %d time %v != %v", i, g.At, w.At)
+		}
+		if g.DstPort != w.DstPort || g.Length != w.Length || g.MoreData != w.MoreData {
+			t.Fatalf("frame %d: got %+v, want %+v", i, g, w)
+		}
+		if g.Rate != dot11.Rate1Mbps {
+			t.Fatalf("frame %d rate = %v, want default", i, g.Rate)
+		}
+	}
+}
+
+// buildEthernetPCAP synthesizes an Ethernet capture with the given
+// packets (each: offset, dst MAC, payload bytes after the MAC header).
+func buildEthernetPCAP(t *testing.T, pkts [][]byte, times []time.Duration) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var gh [pcapGlobalHeaderLen]byte
+	binary.LittleEndian.PutUint32(gh[0:4], pcapMagicMicros)
+	binary.LittleEndian.PutUint32(gh[20:24], DLTEthernet)
+	buf.Write(gh[:])
+	var rec [pcapRecordHeaderLen]byte
+	for i, p := range pkts {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(times[i]/time.Second))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(times[i]%time.Second/time.Microsecond))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(p)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(p)))
+		buf.Write(rec[:])
+		buf.Write(p)
+	}
+	return buf.Bytes()
+}
+
+// ethBroadcastUDP builds a broadcast Ethernet frame carrying UDP.
+func ethBroadcastUDP(dstPort uint16, payload int) []byte {
+	ip := make([]byte, 20+8+payload)
+	ip[0] = 0x45
+	ip[9] = 17
+	ip[28-8+2] = byte(dstPort >> 8) // udp[2:4] after 20-byte IP header
+	ip[28-8+3] = byte(dstPort)
+	eth := make([]byte, 14)
+	for i := 0; i < 6; i++ {
+		eth[i] = 0xff
+	}
+	eth[12], eth[13] = 0x08, 0x00
+	return append(eth, ip...)
+}
+
+func TestReadPCAPEthernet(t *testing.T) {
+	pkts := [][]byte{
+		ethBroadcastUDP(5353, 50),
+		ethBroadcastUDP(1900, 80),
+	}
+	// A unicast packet that must be skipped.
+	uni := ethBroadcastUDP(9999, 10)
+	uni[0] = 0x02
+	pkts = append(pkts, uni)
+	// Epoch-style timestamps exercise the rebase-to-first-packet path.
+	const epoch = 1_700_000_000 * time.Second
+	raw := buildEthernetPCAP(t, pkts,
+		[]time.Duration{epoch + time.Second, epoch + 2*time.Second, epoch + 3*time.Second})
+
+	tr, err := ReadPCAP(bytes.NewReader(raw), PCAPOptions{Name: "eth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Frames) != 2 {
+		t.Fatalf("frames = %d, want 2 (unicast skipped)", len(tr.Frames))
+	}
+	if tr.Frames[0].DstPort != 5353 || tr.Frames[1].DstPort != 1900 {
+		t.Fatalf("ports = %d, %d", tr.Frames[0].DstPort, tr.Frames[1].DstPort)
+	}
+	if tr.Frames[0].At != 0 || tr.Frames[1].At != time.Second {
+		t.Fatalf("times not rebased: %v %v", tr.Frames[0].At, tr.Frames[1].At)
+	}
+	// Ethernet header swapped for 802.11 MAC + LLC/SNAP.
+	wantLen := len(pkts[0]) - 14 + dot11.MACHeaderLen + dot11.LLCSNAPLen
+	if tr.Frames[0].Length != wantLen {
+		t.Fatalf("length = %d, want %d", tr.Frames[0].Length, wantLen)
+	}
+}
+
+func TestReadPCAPRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a pcap"),
+		func() []byte { // unsupported link type
+			var gh [pcapGlobalHeaderLen]byte
+			binary.LittleEndian.PutUint32(gh[0:4], pcapMagicMicros)
+			binary.LittleEndian.PutUint32(gh[20:24], 999)
+			return gh[:]
+		}(),
+	}
+	for i, c := range cases {
+		if _, err := ReadPCAP(bytes.NewReader(c), PCAPOptions{}); err == nil {
+			t.Errorf("case %d: garbage pcap accepted", i)
+		}
+	}
+}
+
+func TestReadPCAPBigEndianAndNanos(t *testing.T) {
+	// Big-endian nanosecond magic with one broadcast packet.
+	var buf bytes.Buffer
+	var gh [pcapGlobalHeaderLen]byte
+	binary.BigEndian.PutUint32(gh[0:4], pcapMagicNanos)
+	binary.BigEndian.PutUint32(gh[20:24], DLTEthernet)
+	buf.Write(gh[:])
+	p := ethBroadcastUDP(5353, 10)
+	var rec [pcapRecordHeaderLen]byte
+	binary.BigEndian.PutUint32(rec[0:4], 10)
+	binary.BigEndian.PutUint32(rec[4:8], 500_000_000) // 0.5 s in ns
+	binary.BigEndian.PutUint32(rec[8:12], uint32(len(p)))
+	binary.BigEndian.PutUint32(rec[12:16], uint32(len(p)))
+	buf.Write(rec[:])
+	buf.Write(p)
+
+	tr, err := ReadPCAP(&buf, PCAPOptions{Name: "be"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(tr.Frames))
+	}
+}
+
+func TestParseRadiotap(t *testing.T) {
+	// Radiotap header: version 0, length 12, present = Flags|Rate|Channel
+	// (bits 1, 2, 3): flags(1) rate(1) then channel(4, align 2).
+	hdr := []byte{
+		0x00, 0x00, // version, pad
+		0x0c, 0x00, // length = 12
+		0x0e, 0x00, 0x00, 0x00, // present: bits 1,2,3
+		0x00,       // flags
+		0x16,       // rate = 22 * 500 kb/s = 11 Mb/s
+		0x00, 0x00, // (channel would follow; truncated within hdrLen)
+	}
+	hdrLen, rate, ok := parseRadiotap(hdr)
+	if !ok || hdrLen != 12 {
+		t.Fatalf("parseRadiotap: ok=%v len=%d", ok, hdrLen)
+	}
+	if rate != dot11.Rate11Mbps {
+		t.Fatalf("rate = %v, want 11 Mb/s", rate)
+	}
+}
+
+func TestParseRadiotapWithTSFT(t *testing.T) {
+	// TSFT (8 bytes, align 8) before Rate: present bits 0 and 2.
+	hdr := make([]byte, 18)
+	hdr[2] = 18 // length
+	binary.LittleEndian.PutUint32(hdr[4:8], 1<<0|1<<2)
+	hdr[16] = 0x04 // rate = 2 * 500 kb/s? No: 4*500k = 2 Mb/s
+	hdrLen, rate, ok := parseRadiotap(hdr)
+	if !ok || hdrLen != 18 {
+		t.Fatalf("ok=%v len=%d", ok, hdrLen)
+	}
+	if rate != dot11.Rate2Mbps {
+		t.Fatalf("rate = %v, want 2 Mb/s", rate)
+	}
+}
+
+func TestParseRadiotapChainedPresent(t *testing.T) {
+	// Present word with ext bit set chains to a second word; Rate in
+	// the first word still parses.
+	hdr := make([]byte, 16)
+	hdr[2] = 16
+	binary.LittleEndian.PutUint32(hdr[4:8], 1<<2|1<<31)
+	binary.LittleEndian.PutUint32(hdr[8:12], 0)
+	hdr[12] = 0x02 // 1 Mb/s
+	_, rate, ok := parseRadiotap(hdr)
+	if !ok || rate != dot11.Rate1Mbps {
+		t.Fatalf("ok=%v rate=%v", ok, rate)
+	}
+}
+
+func TestParseRadiotapRejectsBad(t *testing.T) {
+	if _, _, ok := parseRadiotap([]byte{0, 0}); ok {
+		t.Error("short radiotap accepted")
+	}
+	bad := make([]byte, 8)
+	bad[0] = 1 // wrong version
+	bad[2] = 8
+	if _, _, ok := parseRadiotap(bad); ok {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestReadPCAPRadiotap(t *testing.T) {
+	// Build a radiotap + 802.11 capture by prefixing WritePCAP-style
+	// frames with a radiotap header carrying an 11 Mb/s rate.
+	rt := []byte{
+		0x00, 0x00, 0x09, 0x00,
+		0x04, 0x00, 0x00, 0x00, // present: Rate only
+		0x16, // 11 Mb/s
+	}
+	df := &dot11.DataFrame{
+		Header: dot11.MACHeader{
+			FC:    dot11.FrameControl{FromDS: true},
+			Addr1: dot11.Broadcast,
+		},
+		Payload: dot11.EncapsulateUDP(dot11.UDPDatagram{DstPort: 1900, Payload: make([]byte, 20)}),
+	}
+	pkt := append(append([]byte(nil), rt...), df.Marshal()...)
+
+	var buf bytes.Buffer
+	var gh [pcapGlobalHeaderLen]byte
+	binary.LittleEndian.PutUint32(gh[0:4], pcapMagicMicros)
+	binary.LittleEndian.PutUint32(gh[20:24], DLTRadiotap)
+	buf.Write(gh[:])
+	var rec [pcapRecordHeaderLen]byte
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(pkt)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(pkt)))
+	buf.Write(rec[:])
+	buf.Write(pkt)
+
+	tr, err := ReadPCAP(&buf, PCAPOptions{Name: "rt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(tr.Frames))
+	}
+	if tr.Frames[0].Rate != dot11.Rate11Mbps {
+		t.Fatalf("rate = %v, want 11 Mb/s from radiotap", tr.Frames[0].Rate)
+	}
+	if tr.Frames[0].DstPort != 1900 {
+		t.Fatalf("port = %d", tr.Frames[0].DstPort)
+	}
+}
+
+func TestReadPCAPSkipsControlFrames(t *testing.T) {
+	// An 802.11 capture containing a beacon and an ACK yields no trace
+	// frames.
+	var buf bytes.Buffer
+	var gh [pcapGlobalHeaderLen]byte
+	binary.LittleEndian.PutUint32(gh[0:4], pcapMagicMicros)
+	binary.LittleEndian.PutUint32(gh[20:24], DLT80211)
+	buf.Write(gh[:])
+	beacon := &dot11.Beacon{Header: dot11.MACHeader{Addr1: dot11.Broadcast}, SSID: "x"}
+	braw, err := beacon.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := (&dot11.ACK{RA: dot11.MACAddr{1}}).Marshal()
+	var rec [pcapRecordHeaderLen]byte
+	for _, p := range [][]byte{braw, ack} {
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(p)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(p)))
+		buf.Write(rec[:])
+		buf.Write(p)
+	}
+	tr, err := ReadPCAP(&buf, PCAPOptions{Name: "ctl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Frames) != 0 {
+		t.Fatalf("frames = %d, want 0", len(tr.Frames))
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary characterizes a trace the way the paper's Figure 6 and its
+// surrounding discussion do: volume, burstiness, and inter-arrival
+// structure. Burstiness drives the energy results — the paper notes
+// that "frame arrival pattern" is one of the factors behind per-trace
+// savings differences — so the summary quantifies it.
+type Summary struct {
+	// Frames and Duration identify the trace size.
+	Frames   int
+	Duration time.Duration
+	// MeanFPS is the average frames per second (Figure 6's marker).
+	MeanFPS float64
+	// PeakFPS is the busiest second.
+	PeakFPS int
+	// IndexOfDispersion is Var(N)/Mean(N) over per-second counts: 1
+	// for Poisson traffic, larger for bursty traffic.
+	IndexOfDispersion float64
+	// InterArrivalP50/P95 are inter-arrival time percentiles.
+	InterArrivalP50 time.Duration
+	InterArrivalP95 time.Duration
+	// CV is the coefficient of variation of inter-arrival times: 1 for
+	// exponential (Poisson), >1 for bursty.
+	CV float64
+	// MeanFrameBytes is the average MAC frame length.
+	MeanFrameBytes float64
+	// DistinctPorts is the number of distinct destination ports.
+	DistinctPorts int
+}
+
+// Summarize computes the trace summary.
+func Summarize(tr *Trace) Summary {
+	s := Summary{Frames: len(tr.Frames), Duration: tr.Duration, MeanFPS: tr.MeanFPS()}
+
+	counts := tr.FramesPerSecond()
+	var sum, sumSq float64
+	for _, c := range counts {
+		if c > s.PeakFPS {
+			s.PeakFPS = c
+		}
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	if n := float64(len(counts)); n > 0 && sum > 0 {
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		s.IndexOfDispersion = variance / mean
+	}
+
+	if len(tr.Frames) > 1 {
+		gaps := make([]float64, 0, len(tr.Frames)-1)
+		for i := 1; i < len(tr.Frames); i++ {
+			gaps = append(gaps, float64(tr.Frames[i].At-tr.Frames[i-1].At))
+		}
+		sort.Float64s(gaps)
+		s.InterArrivalP50 = time.Duration(gaps[len(gaps)/2])
+		s.InterArrivalP95 = time.Duration(gaps[len(gaps)*95/100])
+		var gSum, gSumSq float64
+		for _, g := range gaps {
+			gSum += g
+			gSumSq += g * g
+		}
+		gMean := gSum / float64(len(gaps))
+		if gMean > 0 {
+			gVar := gSumSq/float64(len(gaps)) - gMean*gMean
+			if gVar < 0 {
+				gVar = 0
+			}
+			s.CV = math.Sqrt(gVar) / gMean
+		}
+	}
+
+	var bytes float64
+	for _, f := range tr.Frames {
+		bytes += float64(f.Length)
+	}
+	if len(tr.Frames) > 0 {
+		s.MeanFrameBytes = bytes / float64(len(tr.Frames))
+	}
+	s.DistinctPorts = len(tr.PortHistogram())
+	return s
+}
