@@ -1,0 +1,78 @@
+// Command crosscheck runs the differential oracle: every (policy ×
+// scenario × device × seed) cell is priced by both the analytic
+// Section IV energy model and the frame-level protocol simulation, and
+// the per-component divergences are checked against the declared
+// tolerance bands. It prints the worst-divergence table and exits
+// non-zero if any cell disagrees or violates a runtime invariant.
+//
+// Usage:
+//
+//	crosscheck [-duration 45m] [-seeds 3] [-useful 0.1] [-invariants] [-v]
+//
+// The default duration of 0 keeps the paper's full capture durations
+// (30-60 min of virtual time per trace); -duration shortens the traces
+// for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/check"
+)
+
+func main() {
+	duration := flag.Duration("duration", 0, "truncate traces to this virtual duration (0 = paper durations)")
+	seeds := flag.Int("seeds", 3, "number of generator-seed perturbations per scenario")
+	useful := flag.Float64("useful", 0.10, "target useful-traffic fraction (port-derived)")
+	invariants := flag.Bool("invariants", true, "attach runtime invariant checks to every protocol run")
+	verbose := flag.Bool("v", false, "print every cell, not just the summary")
+	flag.Parse()
+
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "crosscheck: -seeds must be at least 1")
+		os.Exit(2)
+	}
+	if *duration < 0 {
+		fmt.Fprintln(os.Stderr, "crosscheck: -duration must not be negative")
+		os.Exit(2)
+	}
+	if *useful <= 0 || *useful > 1 {
+		fmt.Fprintln(os.Stderr, "crosscheck: -useful must be in (0, 1]")
+		os.Exit(2)
+	}
+	m := check.DefaultMatrix()
+	m.Seeds = m.Seeds[:0]
+	for s := 0; s < *seeds; s++ {
+		m.Seeds = append(m.Seeds, uint64(s))
+	}
+	m.Config = check.OracleConfig{
+		Duration:        *duration,
+		UsefulTarget:    *useful,
+		CheckInvariants: *invariants,
+	}
+
+	start := time.Now()
+	res, err := m.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crosscheck: %v\n", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		for _, c := range res.Results {
+			status := ""
+			if !c.OK() {
+				status = "  <- cell FAILED"
+			}
+			fmt.Printf("%-45s worst %s%s\n", c.Cell, c.Worst(), status)
+		}
+	}
+	fmt.Print(res.Report())
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	if err := res.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "crosscheck: %v\n", err)
+		os.Exit(1)
+	}
+}

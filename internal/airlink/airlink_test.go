@@ -17,12 +17,14 @@ var bssid = dot11.MACAddr{0x02, 0x1d, 0xe0, 0xaa, 0x00, 0x01}
 // rig starts a real AP daemon and a real client daemon in-process:
 // two engines, two realtime drivers, frames over loopback UDP.
 type rig struct {
-	hub    *Hub
-	link   *Link
-	apEnt  *ap.AP
-	stEnt  *station.Station
-	cancel context.CancelFunc
-	done   chan struct{}
+	hub      *Hub
+	link     *Link
+	apEnt    *ap.AP
+	stEnt    *station.Station
+	apInject chan sim.Event
+	stInject chan sim.Event
+	cancel   context.CancelFunc
+	done     chan struct{}
 }
 
 func startRig(t *testing.T, mode station.Mode, ports []uint16, beaconInterval time.Duration) *rig {
@@ -36,6 +38,7 @@ func startRig(t *testing.T, mode station.Mode, ports []uint16, beaconInterval ti
 		t.Fatal(err)
 	}
 	apInject := make(chan sim.Event, 128)
+	r.apInject = apInject
 	r.hub = NewHub(pc, apInject)
 	apEng := sim.New()
 	r.apEnt = ap.New(apEng, r.hub, ap.Config{
@@ -46,6 +49,7 @@ func startRig(t *testing.T, mode station.Mode, ports []uint16, beaconInterval ti
 
 	// Client side.
 	stInject := make(chan sim.Event, 128)
+	r.stInject = stInject
 	link, err := Dial(pc.LocalAddr().String(), stInject)
 	if err != nil {
 		t.Fatal(err)
@@ -82,44 +86,77 @@ func startRig(t *testing.T, mode station.Mode, ports []uint16, beaconInterval ti
 	return r
 }
 
-// waitFor polls cond until it holds or the deadline passes. The
-// condition reads entity state owned by the engine goroutines, so it
-// routes through an inject round trip for safety.
-func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
+// probeWait polls cond until it holds or the deadline passes. Each
+// evaluation is injected into the owning engine and runs on that
+// engine's goroutine, so cond may read entity state race-free; the
+// buffered result channel synchronizes the answer back to the test.
+func probeWait(t *testing.T, inject chan<- sim.Event, timeout time.Duration, cond func() bool) bool {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
+	for {
+		res := make(chan bool, 1)
+		inject <- func(time.Duration) { res <- cond() }
+		if <-res {
 			return true
+		}
+		if time.Now().After(deadline) {
+			return false
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	return cond()
+}
+
+// waitStation and waitAP run cond on the respective engine goroutine.
+func (r *rig) waitStation(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	return probeWait(t, r.stInject, timeout, cond)
+}
+
+func (r *rig) waitAP(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	return probeWait(t, r.apInject, timeout, cond)
+}
+
+// associatedAID waits for the station to associate and returns its AID.
+// The AID is captured on the station goroutine and handed back through
+// the probe's channel, so it can safely feed AP-side conditions.
+func (r *rig) associatedAID(t *testing.T) dot11.AID {
+	t.Helper()
+	var aid dot11.AID
+	if !r.waitStation(t, 10*time.Second, func() bool {
+		if !r.stEnt.Associated() {
+			return false
+		}
+		aid = r.stEnt.AID()
+		return true
+	}) {
+		t.Fatalf("station never associated over UDP: link=%+v hub=%+v",
+			r.link.Stats(), r.hub.Stats())
+	}
+	return aid
 }
 
 func TestOverTheWireAssociationAndPortSync(t *testing.T) {
 	r := startRig(t, station.HIDE, []uint16{5353}, 20*time.Millisecond)
 
-	if !waitFor(t, 10*time.Second, func() bool { return r.stEnt.Associated() }) {
-		t.Fatalf("station never associated over UDP: link=%+v hub=%+v",
-			r.link.Stats(), r.hub.Stats())
-	}
-	if !waitFor(t, 10*time.Second, func() bool {
-		return r.apEnt.Table().Listening(5353, r.stEnt.AID())
+	aid := r.associatedAID(t)
+	if !r.waitAP(t, 10*time.Second, func() bool {
+		return r.apEnt.Table().Listening(5353, aid)
 	}) {
 		t.Fatal("port table never synced over UDP")
 	}
-	if !waitFor(t, 10*time.Second, func() bool { return r.stEnt.Suspended() }) {
+	if !r.waitStation(t, 10*time.Second, func() bool { return r.stEnt.Suspended() }) {
 		t.Fatal("station never suspended after the over-the-wire handshake")
 	}
 }
 
 func TestOverTheWireBroadcastFiltering(t *testing.T) {
 	r := startRig(t, station.HIDE, []uint16{5353}, 20*time.Millisecond)
-	if !waitFor(t, 10*time.Second, func() bool {
-		return r.stEnt.Associated() && r.apEnt.Table().Listening(5353, r.stEnt.AID())
+	aid := r.associatedAID(t)
+	if !r.waitAP(t, 10*time.Second, func() bool {
+		return r.apEnt.Table().Listening(5353, aid)
 	}) {
-		t.Fatal("setup: association/port sync failed")
+		t.Fatal("setup: port sync failed")
 	}
 
 	// Inject a useless and a useful broadcast frame at the AP. The
@@ -130,12 +167,19 @@ func TestOverTheWireBroadcastFiltering(t *testing.T) {
 		close(apInject)
 	})
 	<-apInject
-	if !waitFor(t, 5*time.Second, func() bool { return r.apEnt.Stats().GroupFramesSent >= 1 }) {
+	if !r.waitAP(t, 5*time.Second, func() bool { return r.apEnt.Stats().GroupFramesSent >= 1 }) {
 		t.Fatal("useless frame never flushed")
 	}
 	// The HIDE station's BTIM bit stays clear: it never receives it.
+	// The sleep is a grace period for a wrongly-forwarded frame to land
+	// before the negative check; the read itself is probed.
 	time.Sleep(200 * time.Millisecond)
-	if got := r.stEnt.Stats().GroupReceived; got != 0 {
+	var got int
+	r.waitStation(t, time.Second, func() bool {
+		got = r.stEnt.Stats().GroupReceived
+		return true
+	})
+	if got != 0 {
 		t.Fatalf("HIDE station received %d useless frames over the wire", got)
 	}
 
@@ -145,8 +189,8 @@ func TestOverTheWireBroadcastFiltering(t *testing.T) {
 		close(done)
 	})
 	<-done
-	if !waitFor(t, 10*time.Second, func() bool { return r.stEnt.Stats().GroupUseful >= 1 }) {
-		t.Fatalf("useful frame never received over the wire: %+v", r.stEnt.Stats())
+	if !r.waitStation(t, 10*time.Second, func() bool { return r.stEnt.Stats().GroupUseful >= 1 }) {
+		t.Fatal("useful frame never received over the wire")
 	}
 }
 
@@ -157,17 +201,15 @@ func (r *rig) hubInject(fn sim.Event) {
 
 func TestLegacyClientOverTheWire(t *testing.T) {
 	r := startRig(t, station.Legacy, nil, 20*time.Millisecond)
-	if !waitFor(t, 10*time.Second, func() bool { return r.stEnt.Associated() }) {
-		t.Fatal("legacy station never associated")
-	}
+	r.associatedAID(t)
 	done := make(chan struct{})
 	r.hubInject(func(time.Duration) {
 		r.apEnt.EnqueueGroup(dot11.UDPDatagram{DstPort: 9999}, dot11.Rate1Mbps)
 		close(done)
 	})
 	<-done
-	if !waitFor(t, 10*time.Second, func() bool { return r.stEnt.Stats().GroupReceived >= 1 }) {
-		t.Fatalf("legacy station never received broadcast: %+v", r.stEnt.Stats())
+	if !r.waitStation(t, 10*time.Second, func() bool { return r.stEnt.Stats().GroupReceived >= 1 }) {
+		t.Fatal("legacy station never received broadcast")
 	}
 }
 

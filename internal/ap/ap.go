@@ -88,6 +88,41 @@ type Stats struct {
 	AssocResponses   int
 	UnicastFiltered  int
 	Disassociations  int
+	// GroupFramesEnqueued counts group frames accepted from the
+	// distribution system; together with GroupFramesSent and
+	// BufferedGroupFrames it closes the group-frame conservation
+	// equation (enqueued = sent + pending).
+	GroupFramesEnqueued int
+	// UnicastEnqueued counts unicast frames accepted for buffering,
+	// including frames the FilterUnicast extension then dropped
+	// (enqueued = served + filtered + pending).
+	UnicastEnqueued int
+}
+
+// BeaconView is the snapshot of AP state an Observer receives for each
+// assembled beacon, before it is transmitted. The cross-validation
+// harness uses it to assert Algorithm 1 soundness: a BTIM bit may be
+// set for a client only if some buffered frame's destination port is in
+// the Client UDP Port Table for that client.
+type BeaconView struct {
+	// Beacon is the fully assembled frame (TIM and, for HIDE APs, BTIM).
+	Beacon *dot11.Beacon
+	// IsDTIM marks DTIM beacons (group traffic flushes after these).
+	IsDTIM bool
+	// BufferedPorts holds the destination UDP port of every buffered
+	// group frame whose port was parseable — Algorithm 1's inputs.
+	BufferedPorts []uint16
+	// UnparsedBuffered counts buffered group frames without a
+	// classifiable destination port (never indicated in the BTIM).
+	UnparsedBuffered int
+}
+
+// Observer receives AP protocol events. Observers run synchronously on
+// the simulation goroutine; they must not mutate the AP.
+type Observer interface {
+	// BeaconBuilt fires after each beacon is assembled, before its
+	// transmission and before any group flush it announces.
+	BeaconBuilt(now time.Duration, v BeaconView)
 }
 
 // AP is the access point entity. Create with New, then Start.
@@ -103,6 +138,8 @@ type AP struct {
 	seq     uint16
 	dtim    int // beacons until next DTIM (the DTIM count)
 	stats   Stats
+	obs     Observer
+	flagFn  func(bufferedPorts []uint16, table *porttable.Table) *dot11.VirtualBitmap
 }
 
 var _ medium.Node = (*AP)(nil)
@@ -125,6 +162,19 @@ func New(eng *sim.Engine, med medium.Channel, cfg Config) *AP {
 
 // Stats returns the AP's protocol counters.
 func (a *AP) Stats() Stats { return a.stats }
+
+// SetObserver installs the protocol observer (nil disables it).
+func (a *AP) SetObserver(o Observer) { a.obs = o }
+
+// SetFlagComputer overrides Algorithm 1's per-client flag computation.
+// The replacement receives the destination ports of the buffered group
+// frames and the Client UDP Port Table, and returns the BTIM bitmap.
+// It exists as a fault-injection point for the cross-validation
+// harness — a broken computer must be caught by both the differential
+// oracle and the BTIM invariant. A nil fn restores Algorithm 1.
+func (a *AP) SetFlagComputer(fn func(bufferedPorts []uint16, table *porttable.Table) *dot11.VirtualBitmap) {
+	a.flagFn = fn
+}
 
 // Table exposes the Client UDP Port Table (read-mostly; used by tests
 // and tooling).
@@ -173,6 +223,7 @@ func (a *AP) EnqueueGroup(d dot11.UDPDatagram, rate dot11.Rate) {
 	a.group = append(a.group, bufferedGroup{
 		payload: body, rate: rate, dstPort: d.DstPort, ok: true,
 	})
+	a.stats.GroupFramesEnqueued++
 }
 
 // EnqueueUnicast buffers a unicast data frame for a PS-mode client;
@@ -184,6 +235,7 @@ func (a *AP) EnqueueUnicast(dst dot11.MACAddr, d dot11.UDPDatagram, rate dot11.R
 	if !ok {
 		return fmt.Errorf("ap: %v not associated", dst)
 	}
+	a.stats.UnicastEnqueued++
 	if a.cfg.HIDE && a.cfg.FilterUnicast && c.hideCapable && !a.table.Listening(d.DstPort, c.aid) {
 		a.stats.UnicastFiltered++
 		return nil
@@ -204,6 +256,15 @@ func (a *AP) EnqueueUnicast(dst dot11.MACAddr, d dot11.UDPDatagram, rate dot11.R
 func (a *AP) beaconTick(now time.Duration) {
 	isDTIM := a.dtim == 0
 	beacon := a.buildBeacon(now, isDTIM)
+	if a.obs != nil {
+		ports, unparsed := a.bufferedPorts()
+		a.obs.BeaconBuilt(now, BeaconView{
+			Beacon:           beacon,
+			IsDTIM:           isDTIM,
+			BufferedPorts:    ports,
+			UnparsedBuffered: unparsed,
+		})
+	}
 	raw, err := beacon.Marshal()
 	if err != nil {
 		// Beacon construction is fully under AP control; failure is a bug.
@@ -262,6 +323,10 @@ func (a *AP) buildBeacon(now time.Duration, isDTIM bool) *dot11.Beacon {
 // look up the destination UDP port in the Client UDP Port Table and
 // set the flag of every client listening on it.
 func (a *AP) broadcastFlags() *dot11.VirtualBitmap {
+	if a.flagFn != nil {
+		ports, _ := a.bufferedPorts()
+		return a.flagFn(ports, a.table)
+	}
 	var flags dot11.VirtualBitmap
 	for _, g := range a.group {
 		if !g.ok {
@@ -272,6 +337,19 @@ func (a *AP) broadcastFlags() *dot11.VirtualBitmap {
 		}
 	}
 	return &flags
+}
+
+// bufferedPorts returns the destination ports of the buffered group
+// frames with a parseable port, plus the count of unparseable ones.
+func (a *AP) bufferedPorts() (ports []uint16, unparsed int) {
+	for _, g := range a.group {
+		if g.ok {
+			ports = append(ports, g.dstPort)
+		} else {
+			unparsed++
+		}
+	}
+	return ports, unparsed
 }
 
 // flushGroup transmits all buffered group frames after a DTIM beacon,
@@ -409,3 +487,14 @@ func (a *AP) nextSeq() uint16 {
 // BufferedGroupFrames returns the number of group frames currently
 // buffered (the paper's n_f when sampled at DTIM boundaries).
 func (a *AP) BufferedGroupFrames() int { return len(a.group) }
+
+// PendingUnicast returns the number of buffered unicast frames across
+// all clients, closing the unicast conservation equation
+// (UnicastEnqueued = PSPollsServed + UnicastFiltered + PendingUnicast).
+func (a *AP) PendingUnicast() int {
+	n := 0
+	for _, c := range a.clients {
+		n += len(c.unicast)
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// This file is the golden-file regression layer: every figure and
+// table regeneration target is snapshotted as canonical JSON under
+// testdata/golden/ and compared tolerance-aware on each test run. The
+// snapshots are regenerated with
+//
+//	go test ./internal/check -run TestGolden -update
+//
+// which rewrites the files byte-identically when nothing changed (the
+// marshalling is canonical: sorted keys, fixed indentation, trailing
+// newline).
+
+// GoldenRelTol is the relative tolerance for numeric comparisons
+// against golden files. The pipeline is deterministic, so on one
+// machine snapshots match exactly; the band absorbs cross-architecture
+// floating-point variation (FMA contraction, libm differences) without
+// masking real regressions.
+const GoldenRelTol = 1e-9
+
+// MarshalCanonical renders v as canonical golden-file JSON: two-space
+// indentation, keys in struct order (encoding/json sorts map keys),
+// and a trailing newline.
+func MarshalCanonical(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteGolden writes the canonical form of v to path, creating parent
+// directories as needed.
+func WriteGolden(path string, v any) error {
+	b, err := MarshalCanonical(v)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// CompareGolden compares the canonical form of v against the snapshot
+// at path: numbers within relTol relative difference are equal, all
+// other values must match exactly. Errors are annotated with the JSON
+// path of the first mismatch.
+func CompareGolden(path string, v any, relTol float64) error {
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("golden: %w (run with -update to create it)", err)
+	}
+	got, err := MarshalCanonical(v)
+	if err != nil {
+		return err
+	}
+	return CompareJSON(got, want, relTol)
+}
+
+// CompareJSON compares two JSON documents with a relative tolerance on
+// numbers. The first difference is reported with its JSON path.
+func CompareJSON(got, want []byte, relTol float64) error {
+	var g, w any
+	if err := json.Unmarshal(got, &g); err != nil {
+		return fmt.Errorf("golden: got side: %w", err)
+	}
+	if err := json.Unmarshal(want, &w); err != nil {
+		return fmt.Errorf("golden: want side: %w", err)
+	}
+	return compareValue("$", g, w, relTol)
+}
+
+// compareValue recursively compares unmarshalled JSON values.
+func compareValue(path string, got, want any, relTol float64) error {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			return fmt.Errorf("golden: %s: got %T, want object", path, got)
+		}
+		if len(g) != len(w) {
+			return fmt.Errorf("golden: %s: got %d keys, want %d", path, len(g), len(w))
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				return fmt.Errorf("golden: %s: missing key %q", path, k)
+			}
+			if err := compareValue(path+"."+k, gv, wv, relTol); err != nil {
+				return err
+			}
+		}
+		return nil
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			return fmt.Errorf("golden: %s: got %T, want array", path, got)
+		}
+		if len(g) != len(w) {
+			return fmt.Errorf("golden: %s: got %d elements, want %d", path, len(g), len(w))
+		}
+		for i := range w {
+			if err := compareValue(path+"["+strconv.Itoa(i)+"]", g[i], w[i], relTol); err != nil {
+				return err
+			}
+		}
+		return nil
+	case float64:
+		g, ok := got.(float64)
+		if !ok {
+			return fmt.Errorf("golden: %s: got %T, want number", path, got)
+		}
+		if relDiff(g, w) > relTol {
+			return fmt.Errorf("golden: %s: got %v, want %v (rel %v > %v)", path, g, w, relDiff(g, w), relTol)
+		}
+		return nil
+	default:
+		if got != want {
+			return fmt.Errorf("golden: %s: got %v, want %v", path, got, want)
+		}
+		return nil
+	}
+}

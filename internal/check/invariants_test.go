@@ -1,0 +1,156 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/station"
+	"repro/internal/trace"
+)
+
+// TestInvariantsCleanRun attaches the checker to an unmutated protocol
+// run of every station mode and expects silence.
+func TestInvariantsCleanRun(t *testing.T) {
+	tr, err := oracleTrace(trace.CSDept, 0, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := trace.OpenPortsForFraction(tr, 0.10)
+	for _, mode := range []station.Mode{station.Legacy, station.ClientSide, station.HIDE} {
+		n, err := core.NewNetwork(core.NetworkConfig{DTIMPeriod: 1, HIDE: mode == station.HIDE})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.AddStation(mode, sortedPorts(open)); err != nil {
+			t.Fatal(err)
+		}
+		inv := NewInvariants()
+		inv.Watch(n)
+		if err := n.Replay(tr); err != nil {
+			t.Fatal(err)
+		}
+		inv.Finish(n.Engine.Now())
+		if err := inv.Err(); err != nil {
+			t.Errorf("%v station: %v", mode, err)
+		}
+	}
+}
+
+// TestInvariantsRecordCap: a per-event breach must not accumulate
+// unbounded duplicates; recording is capped per rule.
+func TestInvariantsRecordCap(t *testing.T) {
+	inv := NewInvariants()
+	for i := 0; i < 10*maxViolationsPerRule; i++ {
+		inv.record(time.Duration(i), RuleTimeline, "synthetic")
+	}
+	inv.record(0, RuleArrivalOrder, "other rule still records")
+	got := inv.Violations()
+	if len(got) != maxViolationsPerRule+1 {
+		t.Fatalf("recorded %d violations, want %d", len(got), maxViolationsPerRule+1)
+	}
+	err := inv.Err()
+	if err == nil {
+		t.Fatal("Err() nil with violations recorded")
+	}
+	if !strings.Contains(err.Error(), RuleTimeline) || !strings.Contains(err.Error(), "synthetic") {
+		t.Errorf("error omits rule or detail: %v", err)
+	}
+}
+
+// TestInvariantsFailFast: FailFast panics on the first breach so tests
+// can pinpoint the offending simulation event.
+func TestInvariantsFailFast(t *testing.T) {
+	inv := NewInvariants()
+	inv.FailFast = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FailFast did not panic")
+		}
+	}()
+	inv.record(0, RuleTimeline, "boom")
+}
+
+// TestStationWatchTimeline drives the station observer directly:
+// alternating transitions are clean, a repeated transition and a
+// time-travelling transition are violations.
+func TestStationWatchTimeline(t *testing.T) {
+	inv := NewInvariants()
+	w := &stationWatch{inv: inv}
+	w.StateChanged(1*time.Second, true)
+	w.StateChanged(2*time.Second, false)
+	w.StateChanged(3*time.Second, true)
+	if got := inv.Violations(); len(got) != 0 {
+		t.Fatalf("clean alternation flagged: %v", got)
+	}
+	w.StateChanged(4*time.Second, true) // repeated state
+	if got := inv.Violations(); len(got) != 1 || got[0].Rule != RuleTimeline {
+		t.Fatalf("repeated transition not flagged: %v", got)
+	}
+	w.StateChanged(2500*time.Millisecond, false) // before the 3s transition
+	found := false
+	for _, v := range inv.Violations() {
+		if v.Rule == RuleTimeline && strings.Contains(v.Detail, "before previous") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("backwards transition not flagged: %v", inv.Violations())
+	}
+}
+
+// TestStationWatchArrivals: out-of-order and unphysical arrivals are
+// violations.
+func TestStationWatchArrivals(t *testing.T) {
+	inv := NewInvariants()
+	w := &stationWatch{inv: inv}
+	ok := energy.Arrival{At: time.Second, Length: 100, Rate: 1e6, Wakelock: time.Second}
+	w.ArrivalRecorded(time.Second, ok)
+	if got := inv.Violations(); len(got) != 0 {
+		t.Fatalf("valid arrival flagged: %v", got)
+	}
+	w.ArrivalRecorded(2*time.Second, energy.Arrival{At: 500 * time.Millisecond, Length: 100, Rate: 1e6})
+	w.ArrivalRecorded(3*time.Second, energy.Arrival{At: 3 * time.Second, Length: 0, Rate: 1e6})
+	rules := map[string]int{}
+	for _, v := range inv.Violations() {
+		rules[v.Rule]++
+	}
+	if rules[RuleArrivalOrder] != 2 {
+		t.Fatalf("want 2 arrival-order violations, got %v", inv.Violations())
+	}
+}
+
+// TestInvariantsConservation verifies the per-event conservation hook
+// is genuinely exercised: the replay must move group frames through the
+// whole enqueue → buffer → flush pipeline (every step re-checked after
+// every event), and the equation must close at the end of the run.
+func TestInvariantsConservation(t *testing.T) {
+	tr, err := oracleTrace(trace.Starbucks, 0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := core.NewNetwork(core.NetworkConfig{DTIMPeriod: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddStation(station.Legacy, nil); err != nil {
+		t.Fatal(err)
+	}
+	inv := NewInvariants()
+	inv.Watch(n)
+	if err := n.Replay(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Err(); err != nil {
+		t.Fatalf("clean replay violated conservation: %v", err)
+	}
+	st := n.AP.Stats()
+	if st.BeaconsSent == 0 || st.GroupFramesEnqueued == 0 || st.GroupFramesSent == 0 {
+		t.Fatalf("pipeline not exercised: %+v", st)
+	}
+	if st.GroupFramesEnqueued != st.GroupFramesSent+n.AP.BufferedGroupFrames() {
+		t.Fatalf("conservation open at end of run: %+v (buffered %d)", st, n.AP.BufferedGroupFrames())
+	}
+}

@@ -1,0 +1,59 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// componentOrder fixes the report row order to match Compare's output.
+var componentOrder = []string{"Eb", "Ef", "Ewl", "Est", "Eo", "total", "suspend"}
+
+// WorstCase pairs a component's worst observed divergence with the cell
+// it occurred in.
+type WorstCase struct {
+	Cell Cell
+	Diff ComponentDiff
+}
+
+// WorstByComponent returns, for each compared component, the cell with
+// the largest relative divergence across the whole sweep — the table
+// EXPERIMENTS.md records and cmd/crosscheck prints.
+func (r *MatrixResult) WorstByComponent() []WorstCase {
+	worst := make(map[string]WorstCase, len(componentOrder))
+	for _, res := range r.Results {
+		for _, d := range res.Diffs {
+			if w, ok := worst[d.Name]; !ok || d.Rel > w.Diff.Rel {
+				worst[d.Name] = WorstCase{Cell: res.Cell, Diff: d}
+			}
+		}
+	}
+	out := make([]WorstCase, 0, len(worst))
+	for _, name := range componentOrder {
+		if w, ok := worst[name]; ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Report renders the sweep summary: the per-component worst-divergence
+// table, then every failing cell's full diff and invariant violations.
+func (r *MatrixResult) Report() string {
+	var b strings.Builder
+	fails := r.Failures()
+	fmt.Fprintf(&b, "differential oracle: %d cells, %d failed\n", len(r.Results), len(fails))
+	b.WriteString("worst divergence per component:\n")
+	for _, w := range r.WorstByComponent() {
+		fmt.Fprintf(&b, "  %s  (%s)\n", w.Diff, w.Cell)
+	}
+	for _, f := range fails {
+		fmt.Fprintf(&b, "FAIL %s\n", f.Cell)
+		for _, d := range f.Diffs {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+		for _, v := range f.Violations {
+			fmt.Fprintf(&b, "  invariant: %s\n", v)
+		}
+	}
+	return b.String()
+}

@@ -116,6 +116,15 @@ func (n *Network) Replay(tr *trace.Trace) error {
 	return nil
 }
 
+// Stations returns the attached stations in attachment order.
+func (n *Network) Stations() []*station.Station {
+	out := make([]*station.Station, len(n.entries))
+	for i, e := range n.entries {
+		out[i] = e.st
+	}
+	return out
+}
+
 // StationEnergy evaluates the Section IV model over a station's
 // recorded arrivals, honouring the station's listen interval.
 func (n *Network) StationEnergy(st *station.Station, dev energy.Profile, duration time.Duration, withOverhead bool) (energy.Breakdown, error) {

@@ -108,12 +108,18 @@ func TestLiveMonitorStreamsAndInjects(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	// Inject a useful broadcast frame via the tap, then run.
+	// Inject a useful broadcast frame via the tap, then run. Poll the
+	// server's inject counter rather than sleeping: the replay below
+	// only drains injects that have already landed.
 	if err := tap.Inject(netmedium.InjectRequest{DstPort: 5353, PayloadSize: 32}); err != nil {
 		t.Fatal(err)
 	}
-	// Give the datagram time to land before the replay drains injects.
-	time.Sleep(50 * time.Millisecond)
+	for mon.Server.Stats().Injects == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("inject never reached the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
 
 	tr := shortTrace(t, 3*time.Second, 1)
 	if err := n.ReplayRealtime(context.Background(), tr, 2000); err != nil {

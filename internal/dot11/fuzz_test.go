@@ -151,6 +151,84 @@ func FuzzParseUDP(f *testing.F) {
 	})
 }
 
+// FuzzBTIMElement drives the BTIM (element ID 201) codec with
+// arbitrary element bodies: ParseBTIM must never panic, and any body it
+// accepts must re-encode to the identical wire image and preserve
+// per-AID bit lookups.
+func FuzzBTIMElement(f *testing.F) {
+	var bm VirtualBitmap
+	bm.Set(3)
+	bm.Set(200)
+	if e, err := BTIMFromBitmap(&bm).Element(); err == nil {
+		f.Add(e.Body)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{2, 0xff, 0x01})
+	f.Add([]byte{1, 0xff}) // odd offset: must be rejected
+	f.Add(bytes.Repeat([]byte{0xff}, 252))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		b, err := ParseBTIM(Element{ID: ElementIDBTIM, Body: body})
+		if err != nil {
+			return
+		}
+		e, err := b.Element()
+		if err != nil {
+			t.Fatalf("re-encode of accepted BTIM failed: %v", err)
+		}
+		if !bytes.Equal(e.Body, body) {
+			t.Fatalf("BTIM wire image drifted: %x -> %x", body, e.Body)
+		}
+		b2, err := ParseBTIM(e)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		for aid := AID(1); aid <= MaxAID; aid++ {
+			if b.UsefulBroadcastBuffered(aid) != b2.UsefulBroadcastBuffered(aid) {
+				t.Fatalf("AID %d lookup drifted across round-trip", aid)
+			}
+		}
+	})
+}
+
+// FuzzOpenUDPPortsElement drives the Open UDP Ports (element ID 200)
+// codec: ParseOpenUDPPorts must never panic, any accepted body must
+// round-trip exactly when it fits in one element, and oversize port
+// lists must be refused by the encoder.
+func FuzzOpenUDPPortsElement(f *testing.F) {
+	if e, err := (OpenUDPPorts{Ports: []uint16{53, 5353, 1900}}).Element(); err == nil {
+		f.Add(e.Body)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 53})
+	f.Add([]byte{0xff}) // odd length: must be rejected
+	f.Add(bytes.Repeat([]byte{0x14, 0xeb}, MaxPortsPerElement))
+	f.Add(bytes.Repeat([]byte{0, 1}, MaxPortsPerElement+1))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		o, err := ParseOpenUDPPorts(Element{ID: ElementIDOpenUDPPorts, Body: body})
+		if err != nil {
+			return
+		}
+		if len(o.Ports)*2 != len(body) {
+			t.Fatalf("decoded %d ports from %d bytes", len(o.Ports), len(body))
+		}
+		e, err := o.Element()
+		if len(o.Ports) > MaxPortsPerElement {
+			if err == nil {
+				t.Fatalf("encoder accepted %d ports (max %d)", len(o.Ports), MaxPortsPerElement)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("re-encode of accepted port list failed: %v", err)
+		}
+		if !bytes.Equal(e.Body, body) {
+			t.Fatalf("port list wire image drifted: %x -> %x", body, e.Body)
+		}
+	})
+}
+
 func FuzzClassifyNeverPanics(f *testing.F) {
 	seedCorpus(f)
 	f.Fuzz(func(t *testing.T, raw []byte) {

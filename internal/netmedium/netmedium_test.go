@@ -93,6 +93,20 @@ func TestMarshalRejectsOversize(t *testing.T) {
 	}
 }
 
+// waitFor polls cond until it holds, failing the test if it does not
+// within a generous slow-CI deadline. Each call gets a fresh deadline
+// so consecutive waits cannot starve each other.
+func waitFor(t *testing.T, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // startServer runs a server on loopback.
 func startServer(t *testing.T, inject func(InjectRequest)) *Server {
 	t.Helper()
@@ -115,13 +129,7 @@ func TestSubscribePublishReceive(t *testing.T) {
 	defer tap.Close()
 
 	// Wait for the subscription to land, then publish.
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Stats().Subscribers == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("subscription never registered")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, "subscription", func() bool { return srv.Stats().Subscribers > 0 })
 	frame := []byte{0x80, 0x00, 1, 2, 3}
 	srv.Publish(frame, dot11.Rate1Mbps, 42*time.Millisecond)
 
@@ -168,20 +176,9 @@ func TestUnsubscribeStopsStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Stats().Subscribers == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("subscription never registered")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, "subscription", func() bool { return srv.Stats().Subscribers > 0 })
 	tap.Close()
-	for srv.Stats().Subscribers != 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("unsubscribe never processed")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, "unsubscribe", func() bool { return srv.Stats().Subscribers == 0 })
 }
 
 func TestServerIgnoresGarbageDatagrams(t *testing.T) {
@@ -194,13 +191,7 @@ func TestServerIgnoresGarbageDatagrams(t *testing.T) {
 	if _, err := conn.Write([]byte("definitely not a protocol message")); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Stats().BadPackets == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("garbage never counted")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, "garbage counter", func() bool { return srv.Stats().BadPackets > 0 })
 }
 
 func TestPingPong(t *testing.T) {
@@ -238,13 +229,7 @@ func TestPublishSkipsOversizeFrames(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tap.Close()
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Stats().Subscribers == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("no subscriber")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, "subscription", func() bool { return srv.Stats().Subscribers > 0 })
 	srv.Publish(make([]byte, maxFrameLen+1), dot11.Rate1Mbps, 0)
 	if srv.Stats().FramesSent != 0 {
 		t.Fatal("oversize frame published")

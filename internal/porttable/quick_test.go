@@ -1,0 +1,160 @@
+package porttable
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dot11"
+)
+
+// Property test: Table (the paper's hash-of-linked-lists Client UDP
+// Port Table) and ArrayTable (the Section V flat-array alternative)
+// are observationally equivalent — any script of Update/Remove calls
+// leaves both answering Lookup, Listening, Ports, Clients, and Len
+// identically. The script generator draws from a small universe of
+// AIDs and ports so collisions, re-updates, and removals are frequent.
+
+// opScript is a randomized sequence of port-table mutations.
+type opScript struct {
+	Steps []scriptStep
+}
+
+type scriptStep struct {
+	AID    dot11.AID
+	Remove bool
+	Ports  []uint16
+}
+
+// quickAIDs and quickPorts bound the generator's universe: small
+// enough that scripts revisit the same clients and ports constantly.
+var (
+	quickAIDs  = []dot11.AID{1, 2, 3, 4, 5}
+	quickPorts = []uint16{53, 67, 5353, 1900, 5000, 123}
+)
+
+// Generate implements quick.Generator.
+func (opScript) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size + 1)
+	s := opScript{Steps: make([]scriptStep, n)}
+	for i := range s.Steps {
+		st := scriptStep{AID: quickAIDs[r.Intn(len(quickAIDs))]}
+		switch r.Intn(4) {
+		case 0:
+			st.Remove = true
+		default:
+			for _, p := range quickPorts {
+				if r.Intn(2) == 0 {
+					st.Ports = append(st.Ports, p)
+				}
+			}
+			// Occasionally repeat a port: Update must tolerate
+			// duplicates in the client's announcement.
+			if len(st.Ports) > 0 && r.Intn(4) == 0 {
+				st.Ports = append(st.Ports, st.Ports[0])
+			}
+		}
+		s.Steps[i] = st
+	}
+	return reflect.ValueOf(s)
+}
+
+// sortedAIDs returns a sorted copy for order-insensitive comparison —
+// Lookup's AID ordering is an implementation detail, membership is the
+// contract.
+func sortedAIDs(in []dot11.AID) []dot11.AID {
+	out := append([]dot11.AID(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedUint16(in []uint16) []uint16 {
+	out := append([]uint16(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestQuickTableEquivalence(t *testing.T) {
+	prop := func(script opScript) bool {
+		ht := New()
+		at := NewArray()
+		for _, st := range script.Steps {
+			if st.Remove {
+				ht.Remove(st.AID)
+				at.Remove(st.AID)
+			} else {
+				ht.Update(st.AID, st.Ports)
+				at.Update(st.AID, st.Ports)
+			}
+			if ht.Clients() != at.Clients() || ht.Len() != at.Len() {
+				t.Logf("size divergence after %+v: hash (%d clients, %d entries) array (%d, %d)",
+					st, ht.Clients(), ht.Len(), at.Clients(), at.Len())
+				return false
+			}
+			for _, p := range quickPorts {
+				if !reflect.DeepEqual(sortedAIDs(ht.Lookup(p)), sortedAIDs(at.Lookup(p))) {
+					t.Logf("Lookup(%d) diverged after %+v: hash %v array %v",
+						p, st, ht.Lookup(p), at.Lookup(p))
+					return false
+				}
+				for _, a := range quickAIDs {
+					if ht.Listening(p, a) != at.Listening(p, a) {
+						t.Logf("Listening(%d, %d) diverged after %+v", p, a, st)
+						return false
+					}
+				}
+			}
+			for _, a := range quickAIDs {
+				if !reflect.DeepEqual(sortedUint16(ht.Ports(a)), sortedUint16(at.Ports(a))) {
+					t.Logf("Ports(%d) diverged after %+v: hash %v array %v",
+						a, st, ht.Ports(a), at.Ports(a))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLookupMatchesListening: for any script, Lookup membership
+// and Listening agree on both implementations — Algorithm 1 uses both
+// entry points and they must be two views of one relation.
+func TestQuickLookupMatchesListening(t *testing.T) {
+	prop := func(script opScript) bool {
+		for _, tbl := range []interface {
+			Update(dot11.AID, []uint16)
+			Remove(dot11.AID)
+			Lookup(uint16) []dot11.AID
+			Listening(uint16, dot11.AID) bool
+		}{New(), NewArray()} {
+			for _, st := range script.Steps {
+				if st.Remove {
+					tbl.Remove(st.AID)
+				} else {
+					tbl.Update(st.AID, st.Ports)
+				}
+			}
+			for _, p := range quickPorts {
+				members := map[dot11.AID]bool{}
+				for _, a := range tbl.Lookup(p) {
+					members[a] = true
+				}
+				for _, a := range quickAIDs {
+					if members[a] != tbl.Listening(p, a) {
+						t.Logf("Lookup/Listening disagree on port %d aid %d", p, a)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,30 @@ import (
 	"time"
 )
 
+// closeWhenDone polls cond by injecting probe events — each probe runs
+// on the engine goroutine, so cond may read engine state without
+// synchronization — and closes inject once cond holds (ending
+// RunRealtime). A fixed sleep here would race the engine on a slow CI
+// machine; polling with a generous deadline cannot.
+func closeWhenDone(t *testing.T, inject chan Event, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ok := make(chan bool, 1)
+		inject <- func(time.Duration) { ok <- cond() }
+		if <-ok {
+			close(inject)
+			return
+		}
+		if time.Now().After(deadline) {
+			close(inject)
+			t.Error("condition not reached before deadline")
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestRunRealtimeDispatchesAtWallPace(t *testing.T) {
 	e := New()
 	var fired []time.Duration
@@ -14,14 +38,12 @@ func TestRunRealtimeDispatchesAtWallPace(t *testing.T) {
 		e.MustScheduleAt(at, func(now time.Duration) { fired = append(fired, now) })
 	}
 	inject := make(chan Event)
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	start := time.Now()
-	go func() {
-		// Close inject once both events have had time to fire.
-		time.Sleep(100 * time.Millisecond)
-		close(inject)
-	}()
+	// fired is written by engine events and read by probes that also run
+	// on the engine goroutine, so the poll is race-free.
+	go closeWhenDone(t, inject, func() bool { return len(fired) == 2 })
 	if err := e.RunRealtime(ctx, inject); err != nil {
 		t.Fatal(err)
 	}
@@ -39,16 +61,15 @@ func TestRunRealtimeDispatchesAtWallPace(t *testing.T) {
 
 func TestRunRealtimeInjection(t *testing.T) {
 	e := New()
-	inject := make(chan Event, 1)
+	inject := make(chan Event)
 	got := make(chan time.Duration, 1)
-	inject <- func(now time.Duration) {
-		got <- now
-		// Injected code can schedule engine events.
-		e.MustScheduleAfter(time.Millisecond, func(time.Duration) {})
-	}
 	go func() {
-		time.Sleep(50 * time.Millisecond)
-		close(inject)
+		inject <- func(now time.Duration) {
+			got <- now
+			// Injected code can schedule engine events.
+			e.MustScheduleAfter(time.Millisecond, func(time.Duration) {})
+		}
+		closeWhenDone(t, inject, func() bool { return e.Fired() == 1 })
 	}()
 	if err := e.RunRealtime(context.Background(), inject); err != nil {
 		t.Fatal(err)
@@ -76,24 +97,25 @@ func TestRunRealtimeCancellation(t *testing.T) {
 	if err == nil {
 		t.Fatal("cancelled run returned nil")
 	}
-	if time.Since(start) > 2*time.Second {
+	if time.Since(start) > 10*time.Second {
 		t.Fatal("cancellation not prompt")
 	}
 }
 
 func TestRunRealtimeReentrantPanics(t *testing.T) {
 	e := New()
-	inject := make(chan Event, 1)
-	inject <- func(time.Duration) {
-		defer func() {
-			if recover() == nil {
-				t.Error("reentrant RunRealtime did not panic")
-			}
-		}()
-		_ = e.RunRealtime(context.Background(), nil)
-	}
+	// Unbuffered send then close: the reentrant probe is delivered and
+	// run before the closed channel ends the loop — no sleep needed.
+	inject := make(chan Event)
 	go func() {
-		time.Sleep(30 * time.Millisecond)
+		inject <- func(time.Duration) {
+			defer func() {
+				if recover() == nil {
+					t.Error("reentrant RunRealtime did not panic")
+				}
+			}()
+			_ = e.RunRealtime(context.Background(), nil)
+		}
 		close(inject)
 	}()
 	if err := e.RunRealtime(context.Background(), inject); err != nil {

@@ -19,6 +19,12 @@ import (
 // Event is a callback scheduled to run at a virtual time.
 type Event func(now time.Duration)
 
+// Hook observes event dispatch: each registered hook runs after every
+// dispatched event, at the event's virtual time. Hooks are how the
+// cross-validation harness (internal/check) asserts protocol invariants
+// on every simulation step; they must not schedule or cancel events.
+type Hook func(now time.Duration)
+
 // item is a scheduled event inside the queue.
 type item struct {
 	at   time.Duration
@@ -103,6 +109,7 @@ type Engine struct {
 	fired   uint64
 	running bool
 	stopped bool
+	hooks   []Hook
 }
 
 // New returns a new Engine with its clock at 0.
@@ -159,6 +166,10 @@ func (e *Engine) MustScheduleAfter(delay time.Duration, fn Event) Handle {
 // dispatched completes. Pending events stay queued.
 func (e *Engine) Stop() { e.stopped = true }
 
+// AddHook registers a dispatch hook. Hooks run in registration order
+// after every dispatched event and cannot be removed.
+func (e *Engine) AddHook(h Hook) { e.hooks = append(e.hooks, h) }
+
 // Step dispatches the single next pending event, advancing the clock to
 // its timestamp. It reports whether an event was dispatched.
 func (e *Engine) Step() bool {
@@ -173,6 +184,9 @@ func (e *Engine) Step() bool {
 		it.fn = nil
 		e.fired++
 		fn(e.now)
+		for _, h := range e.hooks {
+			h(e.now)
+		}
 		return true
 	}
 	return false

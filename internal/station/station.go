@@ -131,6 +131,19 @@ type Stats struct {
 	PortMsgsSkipped int
 }
 
+// Observer receives station lifecycle events. Observers run
+// synchronously on the simulation goroutine; they must not mutate the
+// station. The cross-validation harness (internal/check) uses them to
+// assert that suspend/awake intervals are disjoint and cover the
+// timeline and that the arrival log stays monotone.
+type Observer interface {
+	// StateChanged fires on every host suspend/wake transition with the
+	// new state. It does not fire for the initial (awake) state.
+	StateChanged(now time.Duration, suspended bool)
+	// ArrivalRecorded fires for every frame appended to the arrival log.
+	ArrivalRecorded(now time.Duration, a energy.Arrival)
+}
+
 // Station is the client entity. Create with New, Associate via the AP,
 // then call Join with the assigned AID.
 type Station struct {
@@ -159,6 +172,7 @@ type Station struct {
 
 	arrivals []energy.Arrival
 	stats    Stats
+	obs      Observer
 }
 
 var _ medium.Node = (*Station)(nil)
@@ -186,7 +200,7 @@ func (s *Station) Join(aid dot11.AID) error {
 	}
 	s.aid = aid
 	s.associated = true
-	s.suspended = false
+	s.setSuspended(false)
 	s.wlExpiry = s.eng.Now()
 	s.scheduleSuspendCheck()
 	return nil
@@ -263,7 +277,7 @@ func (s *Station) Leave(reason uint16) {
 	s.awaitingACK = false
 	s.ackTimer.Cancel()
 	s.suspendEv.Cancel()
-	s.suspended = true
+	s.setSuspended(true)
 }
 
 // handleAssocResponse completes the association exchange.
@@ -287,6 +301,21 @@ func (s *Station) AID() dot11.AID { return s.aid }
 
 // Stats returns the protocol counters.
 func (s *Station) Stats() Stats { return s.stats }
+
+// SetObserver installs the lifecycle observer (nil disables it).
+func (s *Station) SetObserver(o Observer) { s.obs = o }
+
+// setSuspended flips the host suspend state, notifying the observer on
+// actual transitions only.
+func (s *Station) setSuspended(v bool) {
+	if s.suspended == v {
+		return
+	}
+	s.suspended = v
+	if s.obs != nil {
+		s.obs.StateChanged(s.eng.Now(), v)
+	}
+}
 
 // Arrivals returns the recorded radio arrivals for energy analysis,
 // sorted by time.
@@ -441,15 +470,19 @@ func (s *Station) handleData(raw []byte, rate dot11.Rate, now time.Duration) {
 
 // recordArrival logs a radio arrival and drives the suspend machine.
 func (s *Station) recordArrival(raw []byte, rate dot11.Rate, now time.Duration, moreData bool, wl time.Duration) {
-	s.arrivals = append(s.arrivals, energy.Arrival{
+	a := energy.Arrival{
 		At:       now,
 		Length:   len(raw),
 		Rate:     rate,
 		MoreData: moreData,
 		Wakelock: wl,
-	})
+	}
+	s.arrivals = append(s.arrivals, a)
+	if s.obs != nil {
+		s.obs.ArrivalRecorded(now, a)
+	}
 	if s.suspended {
-		s.suspended = false
+		s.setSuspended(false)
 		s.stats.Wakeups++
 	}
 	if exp := now + wl; exp > s.wlExpiry {
@@ -549,7 +582,7 @@ func (s *Station) completeSuspend() {
 	if s.suspended {
 		return
 	}
-	s.suspended = true
+	s.setSuspended(true)
 	s.stats.Suspends++
 }
 
