@@ -1,6 +1,7 @@
 package hide
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -184,6 +185,14 @@ func SummarizeTrace(tr *Trace) TraceSummary { return trace.Summarize(tr) }
 // SeedSweep aggregates HIDE's saving across usefulness-tagging seeds.
 type SeedSweep = core.SeedSweep
 
+// SweepSeedsContext evaluates the headline saving across tagging seeds
+// on the worker pool configured by opts.Workers; opts also supplies
+// the protocol overhead, while its seed fields are overridden per
+// sweep point.
+func SweepSeedsContext(ctx context.Context, tr *Trace, dev Profile, fraction float64, seeds []uint64, opts Options) (SeedSweep, error) {
+	return core.SweepSeedsContext(ctx, tr, dev, fraction, seeds, opts)
+}
+
 // SweepSeeds evaluates the headline saving across tagging seeds to
 // show it is not a seed artifact.
 func SweepSeeds(tr *Trace, dev Profile, fraction float64, seeds []uint64) (SeedSweep, error) {
@@ -208,9 +217,27 @@ func OpenPortsForFraction(tr *Trace, target float64) map[uint16]bool {
 	return trace.OpenPortsForFraction(tr, target)
 }
 
+// DefaultSeed is the usefulness-tagging seed an Options value selects
+// when no seed is set explicitly. Use Options.WithSeed to select seed
+// 0 itself.
+const DefaultSeed = core.DefaultSeed
+
+// EvaluateContext runs one policy over a tagged trace for one device,
+// honouring ctx between pipeline stages. This is the primary
+// evaluation entry point; Evaluate is its background-context shim.
+func EvaluateContext(ctx context.Context, tr *Trace, useful []bool, dev Profile, kind PolicyKind, opts Options) (Result, error) {
+	return core.EvaluateContext(ctx, tr, useful, dev, kind, opts)
+}
+
 // Evaluate runs one policy over a tagged trace for one device.
 func Evaluate(tr *Trace, useful []bool, dev Profile, kind PolicyKind, opts Options) (Result, error) {
 	return core.Evaluate(tr, useful, dev, kind, opts)
+}
+
+// EvaluateFractionContext tags the trace uniformly and evaluates the
+// policy under ctx.
+func EvaluateFractionContext(ctx context.Context, tr *Trace, fraction float64, dev Profile, kind PolicyKind, opts Options) (Result, error) {
+	return core.EvaluateFractionContext(ctx, tr, fraction, dev, kind, opts)
 }
 
 // EvaluateFraction tags the trace uniformly and evaluates the policy.
@@ -218,17 +245,62 @@ func EvaluateFraction(tr *Trace, fraction float64, dev Profile, kind PolicyKind,
 	return core.EvaluateFraction(tr, fraction, dev, kind, opts)
 }
 
-// CompareEnergy evaluates the full Figure 7/8 bar set for one trace.
+// CompareEnergyContext evaluates the full Figure 7/8 bar set for one
+// trace, fanning the bars over the worker pool configured by
+// opts.Workers; the output is identical for any worker count.
+func CompareEnergyContext(ctx context.Context, tr *Trace, dev Profile, opts Options) (EnergyComparison, error) {
+	return core.CompareEnergyContext(ctx, tr, dev, opts)
+}
+
+// CompareEnergyOptions evaluates the Figure 7/8 bar set with explicit
+// options (overhead, tagging seed, parallelism).
+func CompareEnergyOptions(tr *Trace, dev Profile, opts Options) (EnergyComparison, error) {
+	return core.CompareEnergy(tr, dev, opts)
+}
+
+// CompareEnergy evaluates the full Figure 7/8 bar set for one trace
+// with the paper's default options. Compatibility shim for
+// CompareEnergyContext.
 func CompareEnergy(tr *Trace, dev Profile) (EnergyComparison, error) {
 	return core.CompareEnergy(tr, dev, core.Options{})
 }
 
-// SuspendFractions evaluates the Figure 9 row for one trace.
+// SuspendFractionsContext evaluates the Figure 9 row for one trace
+// under ctx on the configured worker pool.
+func SuspendFractionsContext(ctx context.Context, tr *Trace, dev Profile, opts Options) (SuspendRow, error) {
+	return core.SuspendFractionsContext(ctx, tr, dev, opts)
+}
+
+// SuspendFractionsOptions evaluates the Figure 9 row with explicit
+// options.
+func SuspendFractionsOptions(tr *Trace, dev Profile, opts Options) (SuspendRow, error) {
+	return core.SuspendFractions(tr, dev, opts)
+}
+
+// SuspendFractions evaluates the Figure 9 row for one trace with the
+// paper's default options. Compatibility shim for
+// SuspendFractionsContext.
 func SuspendFractions(tr *Trace, dev Profile) (SuspendRow, error) {
 	return core.SuspendFractions(tr, dev, core.Options{})
 }
 
-// RunSuite evaluates Figures 7/8 and 9 across all scenarios.
+// RunSuiteContext evaluates Figures 7/8 and 9 across all scenarios,
+// fanning the deduplicated evaluation grid over the worker pool
+// configured by opts.Workers (0 = GOMAXPROCS). The suite is
+// byte-identical to the sequential path for any worker count, and a
+// cancelled ctx returns promptly with context.Canceled in the error
+// chain.
+func RunSuiteContext(ctx context.Context, dev Profile, opts Options) (*Suite, error) {
+	return core.RunSuiteContext(ctx, dev, opts)
+}
+
+// RunSuiteOptions evaluates the full figure set with explicit options.
+func RunSuiteOptions(dev Profile, opts Options) (*Suite, error) {
+	return core.RunSuite(dev, opts)
+}
+
+// RunSuite evaluates Figures 7/8 and 9 across all scenarios with the
+// paper's default options. Compatibility shim for RunSuiteContext.
 func RunSuite(dev Profile) (*Suite, error) { return core.RunSuite(dev, core.Options{}) }
 
 // NewNetwork builds the protocol-level simulation harness.

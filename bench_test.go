@@ -7,6 +7,7 @@ package hide
 // regenerates the paper's numbers alongside timing data.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -562,4 +563,31 @@ func BenchmarkDCFValidation(b *testing.B) {
 		}
 	}
 	b.ReportMetric(relErr*100, "model-error-%")
+}
+
+// BenchmarkRunSuiteWorkers measures the parallel evaluation engine's
+// scaling on the full Figure 7/8/9 suite: the same deduplicated
+// evaluation grid at 1, 2, and 4 workers and at GOMAXPROCS (workers
+// 0). On a single-CPU host all variants degenerate to sequential
+// throughput; the sub-benchmark ratios show the engine's scheduling
+// overhead is negligible in that case.
+func BenchmarkRunSuiteWorkers(b *testing.B) {
+	// Warm the shared trace cache so every variant measures pure
+	// evaluation, not first-touch trace generation.
+	if _, err := RunSuiteOptions(NexusOne, Options{Workers: 1}); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := "workers=gomaxprocs"
+		if workers > 0 {
+			name = fmt.Sprintf("workers=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunSuiteOptions(NexusOne, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

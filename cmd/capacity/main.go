@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/dcfsim"
 )
 
@@ -27,6 +28,9 @@ func main() {
 
 	cfg := hide.TableII()
 	cfg.DataRate = *rate
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	fmt.Println("== baseline capacity (Bianchi, Table II) ==")
 	fmt.Printf("%6s %10s %10s %12s\n", "N", "tau", "p", "S1 (Mb/s)")
@@ -43,6 +47,7 @@ func main() {
 		fmt.Println("\n== Bianchi vs slotted DCF Monte-Carlo (60 s virtual) ==")
 		fmt.Printf("%6s %12s %12s %9s\n", "N", "phi-model", "phi-sim", "error")
 		for _, n := range []int{5, 10, 20, 30, 40, 50} {
+			cli.Abort(ctx, "capacity")
 			simRes, ana, relErr, err := dcfsim.ValidateAgainstBianchi(cfg, n, 60*time.Second, 42)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "capacity: %v\n", err)
@@ -60,6 +65,7 @@ func main() {
 	}
 	fmt.Println()
 	for _, n := range []int{5, 10, 20, 30, 40, 50} {
+		cli.Abort(ctx, "capacity")
 		fmt.Printf("%6d", n)
 		for _, p := range fractions {
 			params := hide.CapacityParams{

@@ -5,9 +5,13 @@
 // tolerance bands. It prints the worst-divergence table and exits
 // non-zero if any cell disagrees or violates a runtime invariant.
 //
+// The (scenario × seed × policy) protocol units fan out over a worker
+// pool (-parallel/-j, default GOMAXPROCS); the cell results are
+// byte-identical to a sequential run. Ctrl-C cancels the grid.
+//
 // Usage:
 //
-//	crosscheck [-duration 45m] [-seeds 3] [-useful 0.1] [-invariants] [-v]
+//	crosscheck [-duration 45m] [-seeds 3] [-useful 0.1] [-invariants] [-parallel N] [-v]
 //
 // The default duration of 0 keeps the paper's full capture durations
 // (30-60 min of virtual time per trace); -duration shortens the traces
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -28,6 +33,7 @@ func main() {
 	seeds := flag.Int("seeds", 3, "number of generator-seed perturbations per scenario")
 	useful := flag.Float64("useful", 0.10, "target useful-traffic fraction (port-derived)")
 	invariants := flag.Bool("invariants", true, "attach runtime invariant checks to every protocol run")
+	workers := cli.WorkersFlag()
 	verbose := flag.Bool("v", false, "print every cell, not just the summary")
 	flag.Parse()
 
@@ -52,13 +58,15 @@ func main() {
 		Duration:        *duration,
 		UsefulTarget:    *useful,
 		CheckInvariants: *invariants,
+		Workers:         *workers,
 	}
 
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	start := time.Now()
-	res, err := m.Run()
+	res, err := m.RunContext(ctx)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crosscheck: %v\n", err)
-		os.Exit(1)
+		cli.Exit("crosscheck", err)
 	}
 	if *verbose {
 		for _, c := range res.Results {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -39,7 +40,11 @@ func main() {
 
 	ns := []int{5, 10, 20, 30, 40, 50}
 
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	if *sweep == "interval" || *sweep == "both" {
+		cli.Abort(ctx, "delayanalysis")
 		fmt.Println("== Figure 11: delay overhead vs port-message interval (n_o=50, p=50%) ==")
 		pts, err := hide.Figure11(timings)
 		if err != nil {
@@ -70,6 +75,7 @@ func main() {
 	}
 
 	if *sweep == "ports" || *sweep == "both" {
+		cli.Abort(ctx, "delayanalysis")
 		fmt.Println("== Figure 12: delay overhead vs open UDP ports (1/f=30s, p=50%) ==")
 		pts, err := hide.Figure12(timings)
 		if err != nil {

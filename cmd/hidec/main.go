@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 
 	"repro"
 	"repro/internal/airlink"
+	"repro/internal/cli"
 	"repro/internal/dot11"
 	"repro/internal/energy"
 	"repro/internal/procnet"
@@ -113,7 +115,8 @@ func main() {
 	}
 	eng.MustScheduleAfter(*statsEvery, tick)
 
-	ctx := context.Background()
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	var cancel context.CancelFunc
 	if *runFor > 0 {
 		ctx, cancel = context.WithTimeout(ctx, *runFor)
@@ -126,7 +129,7 @@ func main() {
 		}
 	}()
 	err = eng.RunRealtime(ctx, inject)
-	if *runFor > 0 && err == context.DeadlineExceeded {
+	if *runFor > 0 && errors.Is(err, context.DeadlineExceeded) {
 		// Final energy report over the run.
 		b, cerr := energy.Compute(st.Arrivals(), energy.Config{
 			Device:   dev,
@@ -140,7 +143,7 @@ func main() {
 			*runFor, dev.Name, b.AvgPowerW()*1000, b.SuspendFraction*100, st.Stats().Wakeups)
 		return
 	}
-	if err != nil && err != context.Canceled {
+	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "hidec: %v\n", err)
 		os.Exit(1)
 	}

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -25,6 +26,7 @@ import (
 	"repro"
 	"repro/internal/airlink"
 	"repro/internal/ap"
+	"repro/internal/cli"
 	"repro/internal/dot11"
 	"repro/internal/sim"
 )
@@ -95,7 +97,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hided: hub: %v\n", err)
 		}
 	}()
-	if err := eng.RunRealtime(context.Background(), inject); err != nil && err != context.Canceled {
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := eng.RunRealtime(ctx, inject); err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "hided: %v\n", err)
 		os.Exit(1)
 	}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	stdnet "net"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/station"
 )
 
@@ -127,7 +129,11 @@ func main() {
 		defer mon.Close()
 		fmt.Printf("monitor service on %v (connect with hidetap); pacing at %gx\n",
 			mon.Server.Addr(), *speed)
-		if err := net.ReplayRealtime(context.Background(), tr, *speed); err != nil {
+		ctx, stop := cli.SignalContext()
+		defer stop()
+		// Ctrl-C stops the replay but still flushes counters and the
+		// pcap capture below: an interrupted run is a shorter run.
+		if err := net.ReplayRealtime(ctx, tr, *speed); err != nil && !errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
 			os.Exit(1)
 		}

@@ -4,9 +4,13 @@
 // useful frames, for the Nexus One and Galaxy S4) and Figure 9 (the
 // fraction of time in suspend mode).
 //
+// The evaluation grid fans out over a worker pool (-parallel/-j,
+// default GOMAXPROCS) with byte-identical output for any worker
+// count, and Ctrl-C cancels a run in flight.
+//
 // Usage:
 //
-//	hidesim [-device nexusone|galaxys4|all] [-metric power|suspend|all] [-components]
+//	hidesim [-device nexusone|galaxys4|all] [-metric power|suspend|all] [-components] [-parallel N]
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -25,7 +30,12 @@ func main() {
 	metric := flag.String("metric", "all", "metric: power (Fig. 7/8), suspend (Fig. 9), or all")
 	components := flag.Bool("components", false, "print the five energy components per bar")
 	format := flag.String("format", "table", "output format: table or csv (machine-readable, for plotting)")
+	workers := cli.WorkersFlag()
 	flag.Parse()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	opts := hide.Options{Workers: *workers}
 
 	var devices []hide.Profile
 	switch strings.ToLower(*device) {
@@ -59,10 +69,9 @@ func main() {
 			os.Exit(1)
 		}
 		for _, dev := range devices {
-			suite, err := hide.RunSuite(dev)
+			suite, err := hide.RunSuiteContext(ctx, dev, opts)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "hidesim: %v\n", err)
-				os.Exit(1)
+				cli.Exit("hidesim", err)
 			}
 			writeCSV(w, suite)
 		}
@@ -75,10 +84,9 @@ func main() {
 	}
 
 	for _, dev := range devices {
-		suite, err := hide.RunSuite(dev)
+		suite, err := hide.RunSuiteContext(ctx, dev, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hidesim: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidesim", err)
 		}
 		if *metric == "power" || *metric == "all" {
 			printPower(suite, *components)

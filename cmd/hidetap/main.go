@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/dot11"
 	"repro/internal/netmedium"
 )
@@ -41,9 +42,19 @@ func main() {
 		fmt.Printf("injected broadcast to udp/%d\n", *inject)
 	}
 
+	// Ctrl-C ends the stream cleanly between frames (the per-frame
+	// receive timeout bounds how long the check can be deferred).
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	for i := 0; *count == 0 || i < *count; i++ {
+		if ctx.Err() != nil {
+			return
+		}
 		ev, err := tap.Next(time.Now().Add(*timeout))
 		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
 			fmt.Fprintf(os.Stderr, "hidetap: %v\n", err)
 			os.Exit(1)
 		}

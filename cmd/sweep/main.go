@@ -5,12 +5,17 @@
 // Figures 7/8 sample five columns of. Output is a table or CSV for
 // plotting.
 //
+// The (density × useful fraction) grid fans out over a worker pool
+// (-parallel/-j, default GOMAXPROCS) with a deterministic reduction,
+// and Ctrl-C cancels the sweep.
+//
 // Usage:
 //
-//	sweep [-device nexusone] [-base WRL] [-densities 0.25,0.5,1,2,4] [-useful 0.02,0.05,0.1,0.2] [-format table|csv]
+//	sweep [-device nexusone] [-base WRL] [-densities 0.25,0.5,1,2,4] [-useful 0.02,0.05,0.1,0.2] [-format table|csv] [-parallel N]
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -19,6 +24,8 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cli"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -27,6 +34,7 @@ func main() {
 	densities := flag.String("densities", "0.25,0.5,1,2,4", "density multipliers relative to the base trace")
 	useful := flag.String("useful", "0.02,0.05,0.10,0.20,0.50", "useful fractions")
 	format := flag.String("format", "table", "output: table or csv")
+	workers := cli.WorkersFlag()
 	flag.Parse()
 
 	dev, err := hide.ProfileByName(map[string]string{
@@ -68,7 +76,11 @@ func main() {
 	type cell struct {
 		density, frac, fps, saving, raMW, hideMW float64
 	}
-	var cells []cell
+	type job struct {
+		tr   *hide.Trace
+		d, f float64
+	}
+	var jobs []job
 	for _, d := range dens {
 		if d <= 0 {
 			fmt.Fprintf(os.Stderr, "sweep: density %v must be positive\n", d)
@@ -81,22 +93,30 @@ func main() {
 			os.Exit(1)
 		}
 		for _, f := range fracs {
-			ra, err := hide.EvaluateFraction(tr, f, dev, hide.ReceiveAll, hide.Options{})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-				os.Exit(1)
-			}
-			hd, err := hide.EvaluateFraction(tr, f, dev, hide.HIDE, hide.Options{})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-				os.Exit(1)
-			}
-			cells = append(cells, cell{
-				density: d, frac: f, fps: tr.MeanFPS(),
-				saving: 1 - hd.Breakdown.TotalJ()/ra.Breakdown.TotalJ(),
-				raMW:   ra.AvgPowerMW(), hideMW: hd.AvgPowerMW(),
-			})
+			jobs = append(jobs, job{tr: tr, d: d, f: f})
 		}
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	cells, err := engine.Map(ctx, *workers, len(jobs), func(ctx context.Context, i int) (cell, error) {
+		j := jobs[i]
+		ra, err := hide.EvaluateFractionContext(ctx, j.tr, j.f, dev, hide.ReceiveAll, hide.Options{})
+		if err != nil {
+			return cell{}, err
+		}
+		hd, err := hide.EvaluateFractionContext(ctx, j.tr, j.f, dev, hide.HIDE, hide.Options{})
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{
+			density: j.d, frac: j.f, fps: j.tr.MeanFPS(),
+			saving: 1 - hd.Breakdown.TotalJ()/ra.Breakdown.TotalJ(),
+			raMW:   ra.AvgPowerMW(), hideMW: hd.AvgPowerMW(),
+		}, nil
+	})
+	if err != nil {
+		cli.Exit("sweep", err)
 	}
 
 	if *format == "csv" {

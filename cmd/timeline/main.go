@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/energy"
 	"repro/internal/policy"
 	"repro/internal/trace"
@@ -65,13 +66,16 @@ func main() {
 		os.Exit(1)
 	}
 	tr := hide.TruncateTrace(full, *window)
-	tagged := hide.TagUniform(tr, *useful, 0x51de)
+	tagged := hide.TagUniform(tr, *useful, hide.DefaultSeed)
 
 	fmt.Printf("%s on %s, first %v, %.0f%% useful (%d broadcast frames)\n",
 		tr.Name, dev.Name, tr.Duration, *useful*100, len(tr.Frames))
 	fmt.Printf("legend: %s\n\n", "█ awake   ▒ resuming/suspending   · suspended")
 
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	for _, k := range []policy.Kind{policy.ReceiveAll, policy.ClientSide, policy.HIDE} {
+		cli.Abort(ctx, "timeline")
 		p, err := policy.New(k)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)

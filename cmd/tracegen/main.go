@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -44,10 +45,14 @@ func main() {
 		}
 	}
 
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	fmt.Println("== Figure 6: broadcast traffic volumes in traces ==")
 	fmt.Printf("%-10s %9s %8s %8s %8s %8s %8s\n",
 		"trace", "duration", "frames", "mean", "p50", "p90", "p99")
 	for _, s := range scenarios {
+		cli.Abort(ctx, "tracegen")
 		tr, err := hide.GenerateTrace(s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
@@ -94,6 +99,7 @@ func main() {
 
 	fmt.Println("\n== destination-port composition (frames per port) ==")
 	for _, s := range scenarios {
+		cli.Abort(ctx, "tracegen")
 		tr, err := hide.GenerateTrace(s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)

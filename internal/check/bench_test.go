@@ -1,0 +1,34 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkOracleWorkers measures the 90-cell differential-oracle grid
+// (truncated to the test duration) at 1, 2, and 4 workers and at
+// GOMAXPROCS, the scaling half of the crosscheck acceptance story. On
+// a single-CPU host the variants collapse to sequential throughput.
+func BenchmarkOracleWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := "workers=gomaxprocs"
+		if workers > 0 {
+			name = fmt.Sprintf("workers=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			m := DefaultMatrix()
+			m.Config.Duration = testOracleDuration
+			m.Config.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := m.RunContext(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

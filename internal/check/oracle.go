@@ -1,12 +1,14 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dot11"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/policy"
 	"repro/internal/station"
 	"repro/internal/trace"
@@ -50,6 +52,10 @@ type OracleConfig struct {
 	// point used to demonstrate that a broken Algorithm 1 fails both
 	// the oracle and the BTIM invariant.
 	Mutate func(n *core.Network)
+	// Workers bounds the sweep's parallelism: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces the sequential path. The cell
+	// results are identical for any worker count.
+	Workers int
 }
 
 // normalized fills defaults.
@@ -98,7 +104,9 @@ func (r CellResult) Worst() ComponentDiff {
 
 // oracleTrace generates the cell's trace: the scenario's calibrated
 // configuration with the generator seed perturbed per oracle seed and
-// the duration optionally shortened.
+// the duration optionally shortened. Generation goes through the
+// shared memoized cache, so concurrent cells of the same (scenario,
+// seed, duration) share one trace.
 func oracleTrace(s trace.Scenario, seed uint64, d time.Duration) (*trace.Trace, error) {
 	cfg := trace.ScenarioConfig(s)
 	if seed != 0 {
@@ -107,7 +115,7 @@ func oracleTrace(s trace.Scenario, seed uint64, d time.Duration) (*trace.Trace, 
 	if d > 0 && d < cfg.Duration {
 		cfg.Duration = d
 	}
-	return trace.Generate(cfg)
+	return engine.Traces.Generate(cfg)
 }
 
 // alignDTIM maps the trace onto the delivery schedule the protocol
@@ -383,54 +391,93 @@ type MatrixResult struct {
 	Results []CellResult
 }
 
-// Run executes the sweep. The trace and the protocol simulation are
-// shared across devices (the device only changes how the arrival log is
-// priced), so the grid costs policies × scenarios × seeds protocol
-// runs, not × devices.
-func (m Matrix) Run() (*MatrixResult, error) {
+// matrixUnit is one schedulable unit of the sweep: a (scenario, seed,
+// policy) triple. The trace and the protocol simulation are shared
+// across devices (the device only changes how the arrival log is
+// priced), so a unit runs one protocol simulation and prices it for
+// every device.
+type matrixUnit struct {
+	scenario trace.Scenario
+	seed     uint64
+	kind     policy.Kind
+}
+
+// run executes the unit and returns one CellResult per device, in
+// device order.
+func (u matrixUnit) run(m Matrix, cfg OracleConfig) ([]CellResult, error) {
+	tr, err := oracleTrace(u.scenario, u.seed, cfg.Duration)
+	if err != nil {
+		return nil, err
+	}
+	open := trace.OpenPortsForFraction(tr, cfg.UsefulTarget)
+	useful := trace.TagByOpenPorts(tr, open)
+	st, viol, err := protocolRun(tr, u.kind, sortedPorts(open), u.seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	arrivals := st.Arrivals()
+	aligned := alignDTIM(tr, useful, u.kind == policy.HIDE)
+	window := tr.Duration + dot11.DefaultBeaconInterval
+	out := make([]CellResult, 0, len(m.Devices))
+	for _, dev := range m.Devices {
+		c := Cell{Policy: u.kind, Scenario: u.scenario, Device: dev, Seed: u.seed}
+		a, err := analyticBreakdown(aligned, useful, u.kind, dev, window)
+		if err != nil {
+			return nil, fmt.Errorf("check: %v analytic: %w", c, err)
+		}
+		ecfg := energy.Config{Device: dev, Duration: window}
+		if u.kind.HasOverhead() {
+			ecfg.Overhead = energy.DefaultOverhead()
+		}
+		p, err := energy.Compute(arrivals, ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("check: %v protocol: %w", c, err)
+		}
+		out = append(out, CellResult{
+			Cell: c, Analytic: a, Protocol: p,
+			Diffs:      Compare(a, p, cfg.Tolerance),
+			Violations: viol,
+		})
+	}
+	return out, nil
+}
+
+// RunContext executes the sweep, fanning the (scenario × seed ×
+// policy) protocol units over the worker pool configured by
+// Config.Workers and reducing the per-unit results back into the
+// sequential path's exact cell order — the output is byte-identical
+// for any worker count. A cancelled ctx returns promptly with
+// context.Canceled in the error chain.
+func (m Matrix) RunContext(ctx context.Context) (*MatrixResult, error) {
 	cfg := m.Config.normalized()
-	out := &MatrixResult{}
+	var units []matrixUnit
 	for _, sc := range m.Scenarios {
 		for _, seed := range m.Seeds {
-			tr, err := oracleTrace(sc, seed, cfg.Duration)
-			if err != nil {
-				return nil, err
-			}
-			open := trace.OpenPortsForFraction(tr, cfg.UsefulTarget)
-			useful := trace.TagByOpenPorts(tr, open)
-			ports := sortedPorts(open)
-			window := tr.Duration + dot11.DefaultBeaconInterval
 			for _, kind := range m.Policies {
-				st, viol, err := protocolRun(tr, kind, ports, seed, cfg)
-				if err != nil {
-					return nil, err
-				}
-				arrivals := st.Arrivals()
-				aligned := alignDTIM(tr, useful, kind == policy.HIDE)
-				for _, dev := range m.Devices {
-					c := Cell{Policy: kind, Scenario: sc, Device: dev, Seed: seed}
-					a, err := analyticBreakdown(aligned, useful, kind, dev, window)
-					if err != nil {
-						return nil, fmt.Errorf("check: %v analytic: %w", c, err)
-					}
-					ecfg := energy.Config{Device: dev, Duration: window}
-					if kind.HasOverhead() {
-						ecfg.Overhead = energy.DefaultOverhead()
-					}
-					p, err := energy.Compute(arrivals, ecfg)
-					if err != nil {
-						return nil, fmt.Errorf("check: %v protocol: %w", c, err)
-					}
-					out.Results = append(out.Results, CellResult{
-						Cell: c, Analytic: a, Protocol: p,
-						Diffs:      Compare(a, p, cfg.Tolerance),
-						Violations: viol,
-					})
-				}
+				units = append(units, matrixUnit{scenario: sc, seed: seed, kind: kind})
 			}
 		}
 	}
+	cells, err := engine.Map(ctx, cfg.Workers, len(units), func(ctx context.Context, i int) ([]CellResult, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return units[i].run(m, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &MatrixResult{}
+	for _, cs := range cells {
+		out.Results = append(out.Results, cs...)
+	}
 	return out, nil
+}
+
+// Run executes the sweep sequentially-compatibly: it is RunContext
+// with a background context.
+func (m Matrix) Run() (*MatrixResult, error) {
+	return m.RunContext(context.Background())
 }
 
 // Failures returns the cells that disagreed or violated an invariant.

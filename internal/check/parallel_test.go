@@ -1,0 +1,61 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// matrixRender canonicalizes a full sweep for byte comparison.
+func matrixRender(t *testing.T, r *MatrixResult) string {
+	t.Helper()
+	b, err := MarshalCanonical(r.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestOracleParallelDeterminism asserts the oracle grid's deterministic
+// ordered reduction: the parallel sweep's cells are byte-identical to
+// the sequential path's, in the same order, for every worker count
+// (run under -cpu 1,4 to also vary GOMAXPROCS).
+func TestOracleParallelDeterminism(t *testing.T) {
+	m := DefaultMatrix()
+	m.Config.Duration = testOracleDuration
+	m.Config.Workers = 1
+	seq, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrixRender(t, seq)
+	for _, workers := range []int{0, 4} {
+		m.Config.Workers = workers
+		par, err := m.RunContext(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := matrixRender(t, par); got != want {
+			t.Fatalf("workers=%d: oracle sweep differs from the sequential path", workers)
+		}
+	}
+}
+
+// TestOracleCancellation: a cancelled context returns promptly with
+// context.Canceled instead of finishing the grid.
+func TestOracleCancellation(t *testing.T) {
+	m := DefaultMatrix()
+	m.Config.Duration = testOracleDuration
+	m.Config.Workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := m.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled oracle run took %v", elapsed)
+	}
+}

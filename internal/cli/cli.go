@@ -1,0 +1,52 @@
+// Package cli holds the small shared plumbing of the cmd/* binaries:
+// signal-driven cancellation and the common parallelism flags, so
+// every command cancels cleanly on Ctrl-C and exposes the same
+// -parallel/-j knobs over the evaluation engine.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM. The
+// second signal kills the process immediately (the stdlib stops
+// catching once the context is cancelled), so a wedged run can still
+// be interrupted.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// WorkersFlag registers the -parallel worker-count flag with its -j
+// shorthand on the default flag set and returns the bound value. 0
+// (the default) selects GOMAXPROCS; 1 forces the sequential path.
+func WorkersFlag() *int {
+	j := flag.Int("parallel", 0, "evaluation worker count (0 = GOMAXPROCS, 1 = sequential)")
+	flag.IntVar(j, "j", 0, "shorthand for -parallel")
+	return j
+}
+
+// Exit prints err the conventional way and exits non-zero, using exit
+// code 130 for an interrupt (the shell convention for SIGINT) so
+// cancellation is distinguishable from failure.
+func Exit(prog string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
+}
+
+// Abort exits through Exit when ctx has been cancelled; otherwise it
+// is a no-op. Short analytic loops call it between sweep points so
+// every binary honours Ctrl-C the same way.
+func Abort(ctx context.Context, prog string) {
+	if err := ctx.Err(); err != nil {
+		Exit(prog, err)
+	}
+}

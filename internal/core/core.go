@@ -3,6 +3,13 @@
 // traffic-management policy to a tagged broadcast trace, runs the
 // Section IV energy model, and produces the rows of Figures 7, 8 and 9.
 //
+// The pipeline is context-aware and parallel: the *Context entry
+// points fan independent evaluation cells over a worker pool
+// (internal/engine) with a deterministic ordered reduction, so the
+// parallel output is byte-identical to the sequential path for any
+// worker count. The non-context forms are thin shims kept for
+// compatibility.
+//
 // For the client-side solution the paper compares against "the lower
 // bound energy consumption of the client-side solution derived by the
 // authors" of [6]. This package computes that lower bound by sweeping
@@ -16,10 +23,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/policy"
 	"repro/internal/trace"
 )
@@ -36,14 +45,35 @@ var clientSideSweep = []time.Duration{
 	time.Second,
 }
 
+// DefaultSeed is the usefulness-tagging seed an Options value selects
+// when no seed was set explicitly.
+const DefaultSeed uint64 = 0x51de
+
 // Options tunes an evaluation. The zero value reproduces the paper's
 // settings (Section VI-A2).
 type Options struct {
 	// Overhead is the HIDE protocol overhead configuration; the zero
 	// value selects energy.DefaultOverhead() for HIDE policies.
 	Overhead energy.Overhead
-	// Seed drives usefulness tagging.
+	// Seed drives usefulness tagging. When HasSeed is false a zero
+	// Seed selects DefaultSeed; set HasSeed (or use WithSeed) to make
+	// seed 0 itself selectable.
 	Seed uint64
+	// HasSeed marks Seed as explicitly chosen, so Seed == 0 means the
+	// literal seed 0 rather than the default.
+	HasSeed bool
+	// Workers bounds the evaluation parallelism of the suite-level
+	// entry points: 0 selects runtime.GOMAXPROCS(0), 1 forces the
+	// sequential path. The output is identical either way.
+	Workers int
+}
+
+// WithSeed returns a copy of o selecting the tagging seed explicitly
+// (including seed 0, which the Seed field alone cannot express).
+func (o Options) WithSeed(seed uint64) Options {
+	o.Seed = seed
+	o.HasSeed = true
+	return o
 }
 
 // normalized fills defaults.
@@ -51,9 +81,10 @@ func (o Options) normalized() Options {
 	if o.Overhead == (energy.Overhead{}) {
 		o.Overhead = energy.DefaultOverhead()
 	}
-	if o.Seed == 0 {
-		o.Seed = 0x51de
+	if !o.HasSeed && o.Seed == 0 {
+		o.Seed = DefaultSeed
 	}
+	o.HasSeed = true
 	return o
 }
 
@@ -79,8 +110,9 @@ type Result struct {
 // Figures 7 and 8.
 func (r Result) AvgPowerMW() float64 { return r.Breakdown.AvgPowerW() * 1000 }
 
-// Evaluate runs one policy over a tagged trace for one device.
-func Evaluate(tr *trace.Trace, useful []bool, dev energy.Profile, kind policy.Kind, opts Options) (Result, error) {
+// EvaluateContext runs one policy over a tagged trace for one device,
+// honouring ctx between pipeline stages.
+func EvaluateContext(ctx context.Context, tr *trace.Trace, useful []bool, dev energy.Profile, kind policy.Kind, opts Options) (Result, error) {
 	opts = opts.normalized()
 	res := Result{
 		Trace:          tr.Name,
@@ -96,6 +128,9 @@ func Evaluate(tr *trace.Trace, useful []bool, dev energy.Profile, kind policy.Ki
 	if kind == policy.ClientSide {
 		best := false
 		for _, wl := range clientSideSweep {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
 			arr, err := policy.ClientSidePolicy{DriverWakelock: wl}.Apply(tr, useful)
 			if err != nil {
 				return Result{}, err
@@ -113,6 +148,9 @@ func Evaluate(tr *trace.Trace, useful []bool, dev energy.Profile, kind policy.Ki
 		return res, nil
 	}
 
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	p, err := policy.New(kind)
 	if err != nil {
 		return Result{}, err
@@ -129,15 +167,26 @@ func Evaluate(tr *trace.Trace, useful []bool, dev energy.Profile, kind policy.Ki
 	return res, nil
 }
 
-// EvaluateFraction tags the trace with a uniform useful fraction and
-// evaluates the policy.
-func EvaluateFraction(tr *trace.Trace, fraction float64, dev energy.Profile, kind policy.Kind, opts Options) (Result, error) {
+// Evaluate runs one policy over a tagged trace for one device.
+func Evaluate(tr *trace.Trace, useful []bool, dev energy.Profile, kind policy.Kind, opts Options) (Result, error) {
+	return EvaluateContext(context.Background(), tr, useful, dev, kind, opts)
+}
+
+// EvaluateFractionContext tags the trace with a uniform useful
+// fraction and evaluates the policy.
+func EvaluateFractionContext(ctx context.Context, tr *trace.Trace, fraction float64, dev energy.Profile, kind policy.Kind, opts Options) (Result, error) {
 	if fraction < 0 || fraction > 1 {
 		return Result{}, fmt.Errorf("core: useful fraction %v outside [0, 1]", fraction)
 	}
 	opts = opts.normalized()
 	useful := trace.TagUniform(tr, fraction, opts.Seed)
-	return Evaluate(tr, useful, dev, kind, opts)
+	return EvaluateContext(ctx, tr, useful, dev, kind, opts)
+}
+
+// EvaluateFraction tags the trace with a uniform useful fraction and
+// evaluates the policy.
+func EvaluateFraction(tr *trace.Trace, fraction float64, dev energy.Profile, kind policy.Kind, opts Options) (Result, error) {
+	return EvaluateFractionContext(context.Background(), tr, fraction, dev, kind, opts)
 }
 
 // UsefulFractions is the sweep of Figures 7-8: 10%, 8%, 6%, 4%, 2%.
@@ -174,26 +223,46 @@ func (c EnergyComparison) SavingsVsClientSide(i int) float64 {
 	return 1 - c.HIDE[i].Breakdown.TotalJ()/cs
 }
 
-// CompareEnergy evaluates all Figure 7/8 bars for one trace and device.
-func CompareEnergy(tr *trace.Trace, dev energy.Profile, opts Options) (EnergyComparison, error) {
-	out := EnergyComparison{Trace: tr.Name, Device: dev.Name}
-	var err error
-	// The receive-all and client-side rows use the 10% tagging, like
-	// the paper's first two bars.
-	if out.ReceiveAll, err = EvaluateFraction(tr, 0.10, dev, policy.ReceiveAll, opts); err != nil {
-		return out, err
-	}
-	if out.ClientSide, err = EvaluateFraction(tr, 0.10, dev, policy.ClientSide, opts); err != nil {
-		return out, err
+// compareBars lists the (policy, fraction) bars of one Figure 7/8
+// comparison, in presentation order. The receive-all and client-side
+// rows use the 10% tagging, like the paper's first two bars.
+func compareBars() []evalCell {
+	bars := []evalCell{
+		{kind: policy.ReceiveAll, fraction: 0.10},
+		{kind: policy.ClientSide, fraction: 0.10},
 	}
 	for _, f := range UsefulFractions {
-		r, err := EvaluateFraction(tr, f, dev, policy.HIDE, opts)
-		if err != nil {
-			return out, err
-		}
-		out.HIDE = append(out.HIDE, r)
+		bars = append(bars, evalCell{kind: policy.HIDE, fraction: f})
 	}
+	return bars
+}
+
+// evalCell is one (policy, fraction) evaluation of a fixed trace.
+type evalCell struct {
+	kind     policy.Kind
+	fraction float64
+}
+
+// CompareEnergyContext evaluates all Figure 7/8 bars for one trace and
+// device, fanning the bars over the configured worker pool.
+func CompareEnergyContext(ctx context.Context, tr *trace.Trace, dev energy.Profile, opts Options) (EnergyComparison, error) {
+	out := EnergyComparison{Trace: tr.Name, Device: dev.Name}
+	bars := compareBars()
+	res, err := engine.Map(ctx, opts.Workers, len(bars), func(ctx context.Context, i int) (Result, error) {
+		return EvaluateFractionContext(ctx, tr, bars[i].fraction, dev, bars[i].kind, opts)
+	})
+	if err != nil {
+		return out, err
+	}
+	out.ReceiveAll = res[0]
+	out.ClientSide = res[1]
+	out.HIDE = res[2:]
 	return out, nil
+}
+
+// CompareEnergy evaluates all Figure 7/8 bars for one trace and device.
+func CompareEnergy(tr *trace.Trace, dev energy.Profile, opts Options) (EnergyComparison, error) {
+	return CompareEnergyContext(context.Background(), tr, dev, opts)
 }
 
 // SuspendRow is one trace's worth of Figure 9 bars: the fraction of
@@ -207,30 +276,34 @@ type SuspendRow struct {
 	HIDE2      float64
 }
 
+// suspendBars lists the four Figure 9 evaluations in row order.
+var suspendBars = []evalCell{
+	{kind: policy.ReceiveAll, fraction: 0.10},
+	{kind: policy.ClientSide, fraction: 0.10},
+	{kind: policy.HIDE, fraction: 0.10},
+	{kind: policy.HIDE, fraction: 0.02},
+}
+
+// SuspendFractionsContext evaluates the Figure 9 row for one trace and
+// device on the configured worker pool.
+func SuspendFractionsContext(ctx context.Context, tr *trace.Trace, dev energy.Profile, opts Options) (SuspendRow, error) {
+	row := SuspendRow{Trace: tr.Name, Device: dev.Name}
+	res, err := engine.Map(ctx, opts.Workers, len(suspendBars), func(ctx context.Context, i int) (Result, error) {
+		return EvaluateFractionContext(ctx, tr, suspendBars[i].fraction, dev, suspendBars[i].kind, opts)
+	})
+	if err != nil {
+		return row, err
+	}
+	row.ReceiveAll = res[0].Breakdown.SuspendFraction
+	row.ClientSide = res[1].Breakdown.SuspendFraction
+	row.HIDE10 = res[2].Breakdown.SuspendFraction
+	row.HIDE2 = res[3].Breakdown.SuspendFraction
+	return row, nil
+}
+
 // SuspendFractions evaluates the Figure 9 row for one trace and device.
 func SuspendFractions(tr *trace.Trace, dev energy.Profile, opts Options) (SuspendRow, error) {
-	row := SuspendRow{Trace: tr.Name, Device: dev.Name}
-	ra, err := EvaluateFraction(tr, 0.10, dev, policy.ReceiveAll, opts)
-	if err != nil {
-		return row, err
-	}
-	cs, err := EvaluateFraction(tr, 0.10, dev, policy.ClientSide, opts)
-	if err != nil {
-		return row, err
-	}
-	h10, err := EvaluateFraction(tr, 0.10, dev, policy.HIDE, opts)
-	if err != nil {
-		return row, err
-	}
-	h2, err := EvaluateFraction(tr, 0.02, dev, policy.HIDE, opts)
-	if err != nil {
-		return row, err
-	}
-	row.ReceiveAll = ra.Breakdown.SuspendFraction
-	row.ClientSide = cs.Breakdown.SuspendFraction
-	row.HIDE10 = h10.Breakdown.SuspendFraction
-	row.HIDE2 = h2.Breakdown.SuspendFraction
-	return row, nil
+	return SuspendFractionsContext(context.Background(), tr, dev, opts)
 }
 
 // Suite evaluates Figures 7/8 and 9 across all five scenarios for one
@@ -241,27 +314,97 @@ type Suite struct {
 	Suspend     []SuspendRow       // one per scenario
 }
 
-// RunSuite generates all scenario traces and evaluates the full figure
-// set for the device.
-func RunSuite(dev energy.Profile, opts Options) (*Suite, error) {
+// suiteJob is one deduplicated evaluation cell of the full suite grid:
+// a (scenario, policy, fraction) triple. The Figure 9 row shares its
+// receive-all, client-side, HIDE:10% and HIDE:2% cells with the
+// Figure 7/8 bars, so the grid is deduplicated before scheduling.
+type suiteJob struct {
+	scenario trace.Scenario
+	cell     evalCell
+}
+
+// suiteJobs flattens the full suite into a deterministic, deduplicated
+// job list covering every Figure 7/8 bar and Figure 9 column.
+func suiteJobs() []suiteJob {
+	var jobs []suiteJob
+	seen := make(map[suiteJob]bool)
+	add := func(j suiteJob) {
+		if !seen[j] {
+			seen[j] = true
+			jobs = append(jobs, j)
+		}
+	}
+	for _, sc := range trace.Scenarios {
+		for _, bar := range compareBars() {
+			add(suiteJob{scenario: sc, cell: bar})
+		}
+		for _, bar := range suspendBars {
+			add(suiteJob{scenario: sc, cell: bar})
+		}
+	}
+	return jobs
+}
+
+// RunSuiteContext generates all scenario traces (through the shared
+// memoized trace cache) and evaluates the full figure set for the
+// device, fanning the deduplicated evaluation cells over the worker
+// pool configured by opts.Workers. The result is byte-identical to the
+// sequential path for any worker count.
+func RunSuiteContext(ctx context.Context, dev energy.Profile, opts Options) (*Suite, error) {
+	opts = opts.normalized()
+	jobs := suiteJobs()
+	res, err := engine.Map(ctx, opts.Workers, len(jobs), func(ctx context.Context, i int) (Result, error) {
+		j := jobs[i]
+		tr, err := engine.Traces.Scenario(j.scenario)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: generating %v: %w", j.scenario, err)
+		}
+		r, err := EvaluateFractionContext(ctx, tr, j.cell.fraction, dev, j.cell.kind, opts)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: evaluating %v %v@%g%%: %w", j.scenario, j.cell.kind, j.cell.fraction*100, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	byJob := make(map[suiteJob]Result, len(jobs))
+	for i, j := range jobs {
+		byJob[j] = res[i]
+	}
 	s := &Suite{Device: dev}
 	for _, sc := range trace.Scenarios {
-		tr, err := trace.GenerateScenario(sc)
-		if err != nil {
-			return nil, fmt.Errorf("core: generating %v: %w", sc, err)
+		name := ""
+		cmp := EnergyComparison{Device: dev.Name}
+		for i, bar := range compareBars() {
+			r := byJob[suiteJob{scenario: sc, cell: bar}]
+			name = r.Trace
+			switch i {
+			case 0:
+				cmp.ReceiveAll = r
+			case 1:
+				cmp.ClientSide = r
+			default:
+				cmp.HIDE = append(cmp.HIDE, r)
+			}
 		}
-		cmp, err := CompareEnergy(tr, dev, opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: comparing %v: %w", sc, err)
-		}
+		cmp.Trace = name
 		s.Comparisons = append(s.Comparisons, cmp)
-		row, err := SuspendFractions(tr, dev, opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: suspend fractions %v: %w", sc, err)
-		}
+		row := SuspendRow{Trace: name, Device: dev.Name}
+		row.ReceiveAll = byJob[suiteJob{scenario: sc, cell: suspendBars[0]}].Breakdown.SuspendFraction
+		row.ClientSide = byJob[suiteJob{scenario: sc, cell: suspendBars[1]}].Breakdown.SuspendFraction
+		row.HIDE10 = byJob[suiteJob{scenario: sc, cell: suspendBars[2]}].Breakdown.SuspendFraction
+		row.HIDE2 = byJob[suiteJob{scenario: sc, cell: suspendBars[3]}].Breakdown.SuspendFraction
 		s.Suspend = append(s.Suspend, row)
 	}
 	return s, nil
+}
+
+// RunSuite generates all scenario traces and evaluates the full figure
+// set for the device.
+func RunSuite(dev energy.Profile, opts Options) (*Suite, error) {
+	return RunSuiteContext(context.Background(), dev, opts)
 }
 
 // SavingsRange returns the min and max HIDE saving versus receive-all

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/policy"
 	"repro/internal/trace"
 )
@@ -26,25 +28,39 @@ type SeedSweep struct {
 	StdDev     float64
 }
 
-// SweepSeeds evaluates HIDE's saving across tagging seeds.
-func SweepSeeds(tr *trace.Trace, dev energy.Profile, fraction float64, seeds []uint64) (SeedSweep, error) {
+// SweepSeedsContext evaluates HIDE's saving across tagging seeds,
+// fanning the per-seed evaluations over the worker pool configured by
+// opts.Workers. opts supplies the overhead and parallelism settings;
+// its seed fields are overridden per sweep point. The aggregation
+// folds savings in seed order, so the result is identical for any
+// worker count.
+func SweepSeedsContext(ctx context.Context, tr *trace.Trace, dev energy.Profile, fraction float64, seeds []uint64, opts Options) (SeedSweep, error) {
 	out := SeedSweep{
 		Trace: tr.Name, Device: dev.Name,
 		UsefulFraction: fraction, Seeds: len(seeds),
 		MinSaving: math.Inf(1), MaxSaving: math.Inf(-1),
 	}
+	savings, err := engine.Map(ctx, opts.Workers, len(seeds), func(ctx context.Context, i int) (float64, error) {
+		// Options{Seed: seed} (not WithSeed) preserves the historical
+		// behaviour of custom seed sets containing 0: the default seed.
+		sopts := opts
+		sopts.Seed = seeds[i]
+		sopts.HasSeed = false
+		ra, err := EvaluateFractionContext(ctx, tr, fraction, dev, policy.ReceiveAll, sopts)
+		if err != nil {
+			return 0, err
+		}
+		hd, err := EvaluateFractionContext(ctx, tr, fraction, dev, policy.HIDE, sopts)
+		if err != nil {
+			return 0, err
+		}
+		return 1 - hd.Breakdown.TotalJ()/ra.Breakdown.TotalJ(), nil
+	})
+	if err != nil {
+		return out, err
+	}
 	var sum, sumSq float64
-	for _, seed := range seeds {
-		opts := Options{Seed: seed}
-		ra, err := EvaluateFraction(tr, fraction, dev, policy.ReceiveAll, opts)
-		if err != nil {
-			return out, err
-		}
-		hd, err := EvaluateFraction(tr, fraction, dev, policy.HIDE, opts)
-		if err != nil {
-			return out, err
-		}
-		saving := 1 - hd.Breakdown.TotalJ()/ra.Breakdown.TotalJ()
+	for _, saving := range savings {
 		sum += saving
 		sumSq += saving * saving
 		if saving < out.MinSaving {
@@ -64,6 +80,11 @@ func SweepSeeds(tr *trace.Trace, dev energy.Profile, fraction float64, seeds []u
 		out.StdDev = math.Sqrt(variance)
 	}
 	return out, nil
+}
+
+// SweepSeeds evaluates HIDE's saving across tagging seeds.
+func SweepSeeds(tr *trace.Trace, dev energy.Profile, fraction float64, seeds []uint64) (SeedSweep, error) {
+	return SweepSeedsContext(context.Background(), tr, dev, fraction, seeds, Options{})
 }
 
 // DefaultSweepSeeds is a small deterministic seed set.

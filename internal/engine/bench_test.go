@@ -1,0 +1,27 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkMapOverhead measures the scheduler's per-cell cost with a
+// near-empty cell body, bounding what the engine itself adds on top of
+// real evaluation work (which runs milliseconds per cell).
+func BenchmarkMapOverhead(b *testing.B) {
+	const cells = 64
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				_, err := Map(ctx, workers, cells, func(ctx context.Context, j int) (int, error) {
+					return j * j, nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// TraceCache memoizes synthetic trace generation. Every layer of the
+// evaluation pipeline used to regenerate the scenario traces per call
+// site (the suite, the oracle grid, the figure CLIs); the cache
+// generates each distinct GenConfig exactly once — including under
+// concurrent access, where later requesters block on the single
+// in-flight generation (singleflight) instead of duplicating it.
+//
+// Cached traces are shared: callers must treat the returned *Trace as
+// immutable. Every consumer in this repository already does — the
+// policy layer, the energy model, and the trace transforms all read
+// frames or build new traces.
+type TraceCache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// Traces is the process-wide shared cache used by the evaluation
+// pipeline and the differential oracle.
+var Traces = &TraceCache{}
+
+// key renders a GenConfig into a canonical map key. GenConfig holds
+// slices, so it is not directly comparable; %#v is deterministic over
+// its fields (no maps involved).
+func key(cfg trace.GenConfig) string { return fmt.Sprintf("%#v", cfg) }
+
+// Generate returns the trace for cfg, generating it on first use.
+func (c *TraceCache) Generate(cfg trace.GenConfig) (*trace.Trace, error) {
+	k := key(cfg)
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*cacheEntry)
+	}
+	e, ok := c.m[k]
+	if !ok {
+		e = &cacheEntry{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.tr, e.err = trace.Generate(cfg) })
+	return e.tr, e.err
+}
+
+// Scenario returns the calibrated trace for one of the paper's five
+// scenarios, generating it on first use.
+func (c *TraceCache) Scenario(s trace.Scenario) (*trace.Trace, error) {
+	return c.Generate(trace.ScenarioConfig(s))
+}
+
+// Len reports how many distinct traces the cache holds.
+func (c *TraceCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset drops every cached trace (tests use it to measure generation
+// counts; production callers never need it).
+func (c *TraceCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = nil
+}

@@ -1,0 +1,126 @@
+// Package engine is the parallel evaluation substrate: a worker-pool
+// grid scheduler that fans independent evaluation cells over
+// GOMAXPROCS workers while keeping the output deterministic.
+//
+// The contract is strict: for any worker count, Map's result slice is
+// byte-identical to the sequential loop's, because every cell is a
+// pure function of its index and results land at their own index. The
+// only things parallelism may change are wall-clock time and the
+// interleaving of side-effect-free work. Errors are aggregated
+// errgroup-style — the first failing cell cancels the rest, and every
+// error that did occur is joined in index order — and a cancelled
+// context makes Map return promptly with context.Canceled wrapped in
+// the joined error.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: 0 (or negative) selects
+// runtime.GOMAXPROCS(0), and the count never exceeds n, the number of
+// cells to run.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map evaluates fn(ctx, i) for every i in [0, n) on a pool of workers
+// and returns the results in index order. workers <= 0 selects
+// GOMAXPROCS; workers == 1 runs the plain sequential loop on the
+// calling goroutine.
+//
+// fn must be a pure function of its index (no ordering dependence
+// between cells); under that contract the returned slice is identical
+// for every worker count.
+//
+// On failure every cell error is collected and joined in index order
+// (errors.Join), and the shared context is cancelled so in-flight
+// cells can stop early; cells not yet started are skipped. When ctx is
+// cancelled the error chain includes ctx.Err(), so callers can test
+// errors.Is(err, context.Canceled).
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	errs := make([]error, n)
+	w := Workers(workers, n)
+
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				break
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				errs[i] = err
+				break
+			}
+			out[i] = v
+		}
+		return out, join(ctx, errs)
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || cctx.Err() != nil {
+					return
+				}
+				v, err := fn(cctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	return out, join(ctx, errs)
+}
+
+// ForEach is Map for cells that produce no value.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// join folds the per-cell errors (in index order) and the parent
+// context's error into one chain, or nil when everything succeeded.
+func join(ctx context.Context, errs []error) error {
+	var all []error
+	for _, e := range errs {
+		if e != nil {
+			all = append(all, e)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		all = append(all, err)
+	}
+	return errors.Join(all...)
+}

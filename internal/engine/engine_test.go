@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestMapOrderedResults checks the deterministic ordered reduction:
+// results land at their own index for every worker count.
+func TestMapOrderedResults(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{0, 1, 2, 4, 16, 200} {
+		out, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(out), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapEquivalentToSequential runs the same randomized-shape work at
+// several worker counts and requires identical output slices.
+func TestMapEquivalentToSequential(t *testing.T) {
+	const n = 64
+	fn := func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("cell-%d-%d", i, i%7), nil
+	}
+	want, err := Map(context.Background(), 1, n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got, err := Map(context.Background(), workers, n, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapZeroCells confirms the empty grid is a no-op.
+func TestMapZeroCells(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for empty grid")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got (%v, %v), want empty success", out, err)
+	}
+}
+
+// TestMapErrorAggregation checks the errgroup-style join: a failing
+// cell's error surfaces, and the remaining cells are cancelled.
+func TestMapErrorAggregation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		_, err := Map(context.Background(), workers, 50, func(ctx context.Context, i int) (int, error) {
+			calls.Add(1)
+			if i == 3 {
+				return 0, fmt.Errorf("cell %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: parent context error leaked into cell failure: %v", workers, err)
+		}
+		if got := calls.Load(); got == 50 && workers == 1 {
+			t.Fatalf("workers=1: all cells ran despite early failure")
+		}
+	}
+}
+
+// TestMapMultipleErrors checks that every error that occurred is
+// joined, in index order, when several cells fail before cancellation
+// propagates.
+func TestMapMultipleErrors(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// workers=1: only the first error can occur (fail-fast).
+	_, err := Map(context.Background(), 1, 10, func(_ context.Context, i int) (int, error) {
+		switch i {
+		case 2:
+			return 0, errA
+		case 5:
+			return 0, errB
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) || errors.Is(err, errB) {
+		t.Fatalf("sequential: err = %v, want only errA", err)
+	}
+}
+
+// TestMapCancellation: a cancelled context makes Map return promptly
+// with context.Canceled in the chain, without running every cell.
+func TestMapCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		start := time.Now()
+		_, err := Map(ctx, workers, 10_000, func(ctx context.Context, i int) (int, error) {
+			if calls.Add(1) == 3 {
+				cancel()
+			}
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if calls.Load() > 100 {
+			t.Fatalf("workers=%d: %d cells ran after cancellation", workers, calls.Load())
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("workers=%d: cancellation took %v", workers, elapsed)
+		}
+		cancel()
+	}
+}
+
+// TestMapPreCancelled: a context cancelled before the call runs no
+// cells at all (workers=1) and returns context.Canceled.
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	_, err := Map(ctx, 1, 100, func(_ context.Context, i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("%d cells ran under a pre-cancelled context", calls.Load())
+	}
+}
+
+// TestForEach covers the value-free wrapper.
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(context.Background(), 4, 10, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d, want 45", sum.Load())
+	}
+}
+
+// TestWorkers checks the normalization rules.
+func TestWorkers(t *testing.T) {
+	if w := Workers(0, 100); w < 1 {
+		t.Fatalf("Workers(0, 100) = %d, want >= 1", w)
+	}
+	if w := Workers(-3, 100); w < 1 {
+		t.Fatalf("Workers(-3, 100) = %d, want >= 1", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want 3 (capped at n)", w)
+	}
+	if w := Workers(2, 100); w != 2 {
+		t.Fatalf("Workers(2, 100) = %d, want 2", w)
+	}
+}
+
+// TestTraceCacheSingleGeneration: concurrent requests for the same
+// scenario share one generated trace (same pointer), and the cached
+// trace equals a direct generation.
+func TestTraceCacheSingleGeneration(t *testing.T) {
+	c := &TraceCache{}
+	ptrs, err := Map(context.Background(), 8, 16, func(_ context.Context, i int) (*trace.Trace, error) {
+		return c.Scenario(trace.Starbucks)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ptrs {
+		if p != ptrs[0] {
+			t.Fatalf("request %d returned a different trace pointer", i)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d traces, want 1", c.Len())
+	}
+	direct, err := trace.GenerateScenario(trace.Starbucks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Frames) != len(ptrs[0].Frames) || direct.Duration != ptrs[0].Duration {
+		t.Fatalf("cached trace differs from direct generation: %d/%v vs %d/%v",
+			len(ptrs[0].Frames), ptrs[0].Duration, len(direct.Frames), direct.Duration)
+	}
+	for i := range direct.Frames {
+		if direct.Frames[i] != ptrs[0].Frames[i] {
+			t.Fatalf("frame %d differs between cached and direct generation", i)
+		}
+	}
+}
+
+// TestTraceCacheDistinctConfigs: different configurations get distinct
+// entries.
+func TestTraceCacheDistinctConfigs(t *testing.T) {
+	c := &TraceCache{}
+	a, err := c.Scenario(trace.Starbucks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.ScenarioConfig(trace.Starbucks)
+	cfg.Seed ^= 0x1234
+	b, err := c.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different seeds returned the same cached trace")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d traces, want 2", c.Len())
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d traces after Reset, want 0", c.Len())
+	}
+}
