@@ -11,7 +11,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"repro"
@@ -37,8 +36,7 @@ func main() {
 	for _, n := range []int{5, 10, 20, 30, 40, 50} {
 		r, err := hide.NetworkCapacity(cfg, n)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "capacity: %v\n", err)
-			os.Exit(1)
+			cli.Exit("capacity", err)
 		}
 		fmt.Printf("%6d %10.4f %10.4f %12.3f\n", n, r.Tau, r.P, r.CapacityBps/1e6)
 	}
@@ -50,8 +48,7 @@ func main() {
 			cli.Abort(ctx, "capacity")
 			simRes, ana, relErr, err := dcfsim.ValidateAgainstBianchi(cfg, n, 60*time.Second, 42)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "capacity: %v\n", err)
-				os.Exit(1)
+				cli.Exit("capacity", err)
 			}
 			fmt.Printf("%6d %12.4f %12.4f %8.2f%%\n", n, ana.Phi, simRes.Phi, relErr*100)
 		}
@@ -75,8 +72,7 @@ func main() {
 			}
 			c, err := hide.CapacityOverhead(cfg, params, n)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "capacity: %v\n", err)
-				os.Exit(1)
+				cli.Exit("capacity", err)
 			}
 			fmt.Printf(" %9.4f%%", c*100)
 		}

@@ -21,7 +21,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"repro/internal/check"
@@ -38,16 +37,13 @@ func main() {
 	flag.Parse()
 
 	if *seeds < 1 {
-		fmt.Fprintln(os.Stderr, "crosscheck: -seeds must be at least 1")
-		os.Exit(2)
+		cli.Usagef("crosscheck", "-seeds must be at least 1")
 	}
 	if *duration < 0 {
-		fmt.Fprintln(os.Stderr, "crosscheck: -duration must not be negative")
-		os.Exit(2)
+		cli.Usagef("crosscheck", "-duration must not be negative")
 	}
 	if *useful <= 0 || *useful > 1 {
-		fmt.Fprintln(os.Stderr, "crosscheck: -useful must be in (0, 1]")
-		os.Exit(2)
+		cli.Usagef("crosscheck", "-useful must be in (0, 1]")
 	}
 	m := check.DefaultMatrix()
 	m.Seeds = m.Seeds[:0]
@@ -63,7 +59,7 @@ func main() {
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
-	start := time.Now()
+	start := time.Now() //lint:ignore determinism wall-clock elapsed-time reporting, not simulation state
 	res, err := m.RunContext(ctx)
 	if err != nil {
 		cli.Exit("crosscheck", err)
@@ -78,9 +74,9 @@ func main() {
 		}
 	}
 	fmt.Print(res.Report())
+	//lint:ignore determinism wall-clock elapsed-time reporting, not simulation state
 	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
 	if err := res.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "crosscheck: %v\n", err)
-		os.Exit(1)
+		cli.Exit("crosscheck", err)
 	}
 }

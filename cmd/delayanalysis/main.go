@@ -17,7 +17,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"repro"
@@ -48,8 +47,7 @@ func main() {
 		fmt.Println("== Figure 11: delay overhead vs port-message interval (n_o=50, p=50%) ==")
 		pts, err := hide.Figure11(timings)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "delayanalysis: %v\n", err)
-			os.Exit(1)
+			cli.Exit("delayanalysis", err)
 		}
 		fmt.Printf("%10s", "1/f")
 		for _, n := range ns {
@@ -79,8 +77,7 @@ func main() {
 		fmt.Println("== Figure 12: delay overhead vs open UDP ports (1/f=30s, p=50%) ==")
 		pts, err := hide.Figure12(timings)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "delayanalysis: %v\n", err)
-			os.Exit(1)
+			cli.Exit("delayanalysis", err)
 		}
 		fmt.Printf("%10s", "n_o")
 		for _, n := range ns {

@@ -49,23 +49,20 @@ func main() {
 	case "clientside":
 		m = station.ClientSide
 	default:
-		fmt.Fprintf(os.Stderr, "hidec: unknown mode %q\n", *mode)
-		os.Exit(2)
+		cli.Usagef("hidec", "unknown mode %q", *mode)
 	}
 	dev, err := hide.ProfileByName(map[string]string{
 		"nexusone": "Nexus One", "galaxys4": "Galaxy S4",
 	}[strings.ToLower(*device)])
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hidec: %v\n", err)
-		os.Exit(2)
+		cli.Usagef("hidec", "%v", err)
 	}
 
 	var ports []uint16
 	if *useProcnet {
 		ports, err = procnet.LocalOpenPorts()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hidec: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidec", err)
 		}
 	} else {
 		for _, s := range strings.Split(*portsArg, ",") {
@@ -75,8 +72,7 @@ func main() {
 			}
 			p, err := strconv.ParseUint(s, 10, 16)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "hidec: bad port %q\n", s)
-				os.Exit(2)
+				cli.Usagef("hidec", "bad port %q", s)
 			}
 			ports = append(ports, uint16(p))
 		}
@@ -85,8 +81,7 @@ func main() {
 	inject := make(chan sim.Event, 256)
 	link, err := airlink.Dial(*connect, inject)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hidec: %v\n", err)
-		os.Exit(1)
+		cli.Exit("hidec", err)
 	}
 	eng := sim.New()
 	st := station.New(eng, link, station.Config{
@@ -136,15 +131,13 @@ func main() {
 			Duration: *runFor,
 		})
 		if cerr != nil {
-			fmt.Fprintf(os.Stderr, "hidec: energy: %v\n", cerr)
-			os.Exit(1)
+			cli.Exit("hidec", fmt.Errorf("energy: %v", cerr))
 		}
 		fmt.Printf("\nenergy over %v on %s: %.1f mW avg, %.1f%% suspended (%d wakeups)\n",
 			*runFor, dev.Name, b.AvgPowerW()*1000, b.SuspendFraction*100, st.Stats().Wakeups)
 		return
 	}
 	if err != nil && !errors.Is(err, context.Canceled) {
-		fmt.Fprintf(os.Stderr, "hidec: %v\n", err)
-		os.Exit(1)
+		cli.Exit("hidec", err)
 	}
 }

@@ -42,8 +42,7 @@ func main() {
 
 	pc, err := net.ListenPacket("udp", *listen)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hided: %v\n", err)
-		os.Exit(1)
+		cli.Exit("hided", err)
 	}
 	inject := make(chan sim.Event, 256)
 	hub := airlink.NewHub(pc, inject)
@@ -61,8 +60,7 @@ func main() {
 			if strings.EqualFold(s.String(), *scenario) {
 				tr, err := hide.GenerateTrace(s)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "hided: %v\n", err)
-					os.Exit(1)
+					cli.Exit("hided", err)
 				}
 				scheduleTrace(eng, a, tr)
 				fmt.Printf("replaying %s broadcast chatter (%d frames over %v, looping)\n",
@@ -72,8 +70,7 @@ func main() {
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "hided: unknown scenario %q\n", *scenario)
-			os.Exit(1)
+			cli.Exit("hided", fmt.Errorf("unknown scenario %q", *scenario))
 		}
 	}
 
@@ -100,8 +97,7 @@ func main() {
 	ctx, stop := cli.SignalContext()
 	defer stop()
 	if err := eng.RunRealtime(ctx, inject); err != nil && !errors.Is(err, context.Canceled) {
-		fmt.Fprintf(os.Stderr, "hided: %v\n", err)
-		os.Exit(1)
+		cli.Exit("hided", err)
 	}
 }
 

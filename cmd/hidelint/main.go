@@ -1,0 +1,73 @@
+// Command hidelint runs the repo's static-analysis suite: the
+// determinism, ctxfirst, exitpath, elemconst, and errdrop checks that
+// keep the engine's byte-identity guarantee, the context-first API
+// convention, the exit-130 interrupt contract, the protocol-constant
+// hygiene, and error handling honest across the tree.
+//
+// Diagnostics print vet-style (file:line:col: message (check)) and a
+// non-zero exit reports findings, so it slots into CI after go vet.
+// Suppress a single finding with a justified directive:
+//
+//	//lint:ignore <check> <reason>
+//
+// Usage:
+//
+//	hidelint [-checks determinism,errdrop] [-root dir] [pattern ...]
+//
+// Patterns follow go tool conventions: ./... (default), ./dir/..., or
+// ./dir.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated checks to run (default all)")
+	root := flag.String("root", ".", "module root directory (holding go.mod)")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := run(os.Stdout, *root, *checks, patterns)
+	if err != nil {
+		cli.Usagef("hidelint", "%v", err)
+	}
+	if n > 0 {
+		cli.Exit("hidelint", fmt.Errorf("%d finding(s)", n))
+	}
+}
+
+// run loads the patterns under root, applies the selected analyzers,
+// prints diagnostics to w, and returns the finding count. It is the
+// whole CLI minus process exit, so tests can drive it directly.
+func run(w io.Writer, root, checks string, patterns []string) (int, error) {
+	analyzers, err := lint.ByName(checks)
+	if err != nil {
+		return 0, err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestTreeClean locks in a lint-clean tree: hidelint over the whole
+// module must report nothing, so any new violation fails the build
+// here as well as in the CI lint step.
+func TestTreeClean(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run(&buf, "../..", "", []string{"./..."})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("tree has %d finding(s):\n%s", n, buf.String())
+	}
+}
+
+// TestFixtureFindings drives the CLI seam over a known-bad fixture
+// package and expects a non-zero finding count, the condition under
+// which main exits non-zero.
+func TestFixtureFindings(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run(&buf, "../..", "errdrop", []string{"./internal/lint/testdata/src/errdrop"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("bad fixture produced no findings")
+	}
+	if out := buf.String(); !strings.Contains(out, "(errdrop)") {
+		t.Errorf("diagnostics missing check name:\n%s", out)
+	}
+}
+
+// TestUnknownCheck exercises the usage-error path.
+func TestUnknownCheck(t *testing.T) {
+	if _, err := run(io.Discard, "../..", "nope", []string{"./..."}); err == nil {
+		t.Fatal("unknown check accepted, want error")
+	}
+}

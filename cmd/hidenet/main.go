@@ -16,6 +16,7 @@ import (
 	"fmt"
 	stdnet "net"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -42,8 +43,7 @@ func main() {
 	case "galaxys4":
 		dev = hide.GalaxyS4
 	default:
-		fmt.Fprintf(os.Stderr, "hidenet: unknown device %q\n", *device)
-		os.Exit(2)
+		cli.Usagef("hidenet", "unknown device %q", *device)
 	}
 
 	var sc hide.Scenario
@@ -55,14 +55,12 @@ func main() {
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "hidenet: unknown scenario %q\n", *scenario)
-		os.Exit(2)
+		cli.Usagef("hidenet", "unknown scenario %q", *scenario)
 	}
 
 	tr, err := hide.GenerateTrace(sc)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
-		os.Exit(1)
+		cli.Exit("hidenet", err)
 	}
 	if *minutes > 0 {
 		cut := time.Duration(*minutes) * time.Minute
@@ -86,11 +84,11 @@ func main() {
 	for p := range open {
 		ports = append(ports, p)
 	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
 
 	net, err := hide.NewNetwork(hide.NetworkConfig{HIDE: true, Loss: *loss, Seed: 7})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
-		os.Exit(1)
+		cli.Exit("hidenet", err)
 	}
 	type entry struct {
 		name     string
@@ -106,8 +104,7 @@ func main() {
 	for _, e := range entries {
 		st, err := net.AddStation(e.mode, ports)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidenet", err)
 		}
 		e.st = st
 	}
@@ -122,8 +119,7 @@ func main() {
 	if *serve != "" {
 		pc, err := stdnet.ListenPacket("udp", *serve)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidenet", err)
 		}
 		mon := net.ServeMonitor(pc)
 		defer mon.Close()
@@ -134,28 +130,24 @@ func main() {
 		// Ctrl-C stops the replay but still flushes counters and the
 		// pcap capture below: an interrupted run is a shorter run.
 		if err := net.ReplayRealtime(ctx, tr, *speed); err != nil && !errors.Is(err, context.Canceled) {
-			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidenet", err)
 		}
 	} else if err := net.Replay(tr); err != nil {
-		fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
-		os.Exit(1)
+		cli.Exit("hidenet", err)
 	}
 
 	if capture != nil {
 		f, err := os.Create(*pcapOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidenet", err)
 		}
 		if err := capture.WritePCAP(f); err != nil {
+			//lint:ignore errdrop close error is moot once the write has failed
 			f.Close()
-			fmt.Fprintf(os.Stderr, "hidenet: writing pcap: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidenet", fmt.Errorf("writing pcap: %w", err))
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidenet", err)
 		}
 		fmt.Printf("wrote %d captured frames to %s\n", capture.Frames(), *pcapOut)
 	}
@@ -169,8 +161,7 @@ func main() {
 	for _, e := range entries {
 		b, err := net.StationEnergy(e.st, dev, tr.Duration, e.overhead)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hidenet: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidenet", err)
 		}
 		s := e.st.Stats()
 		fmt.Printf("%-12s %9d %8d %8d %8d %9d %10.1f %8.1f%%\n",

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/dot11"
 	"repro/internal/procnet"
 )
@@ -26,22 +27,20 @@ func main() {
 	if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hideport: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hideport", err)
 		}
 		socks, err := procnet.ParseTable(f)
+		//lint:ignore errdrop read-side close; parse errors are already captured
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hideport: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hideport", err)
 		}
 		ports = procnet.WildcardPorts(socks)
 	} else {
 		var err error
 		ports, err = procnet.LocalOpenPorts()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hideport: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hideport", err)
 		}
 	}
 
@@ -57,8 +56,7 @@ func main() {
 	}
 	raw, err := msg.Marshal()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hideport: encoding: %v\n", err)
-		os.Exit(1)
+		cli.Exit("hideport", fmt.Errorf("encoding: %w", err))
 	}
 	fmt.Printf("UDP Port Message: %d bytes on the wire (+%d PHY preamble bits)\n",
 		len(raw), dot11.DefaultPHY().PreambleHeaderBits)

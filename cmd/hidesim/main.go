@@ -46,17 +46,14 @@ func main() {
 	case "all":
 		devices = hide.Profiles
 	default:
-		fmt.Fprintf(os.Stderr, "hidesim: unknown device %q\n", *device)
-		os.Exit(2)
+		cli.Usagef("hidesim", "unknown device %q", *device)
 	}
 	if *metric != "power" && *metric != "suspend" && *metric != "all" {
-		fmt.Fprintf(os.Stderr, "hidesim: unknown metric %q\n", *metric)
-		os.Exit(2)
+		cli.Usagef("hidesim", "unknown metric %q", *metric)
 	}
 
 	if *format != "table" && *format != "csv" {
-		fmt.Fprintf(os.Stderr, "hidesim: unknown format %q\n", *format)
-		os.Exit(2)
+		cli.Usagef("hidesim", "unknown format %q", *format)
 	}
 
 	if *format == "csv" {
@@ -65,8 +62,7 @@ func main() {
 			"device", "trace", "solution", "useful_fraction",
 			"avg_power_mw", "eb_mw", "ef_mw", "est_mw", "ewl_mw", "eo_mw", "suspend_fraction",
 		}); err != nil {
-			fmt.Fprintf(os.Stderr, "hidesim: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidesim", err)
 		}
 		for _, dev := range devices {
 			suite, err := hide.RunSuiteContext(ctx, dev, opts)
@@ -77,8 +73,7 @@ func main() {
 		}
 		w.Flush()
 		if err := w.Error(); err != nil {
-			fmt.Fprintf(os.Stderr, "hidesim: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidesim", err)
 		}
 		return
 	}
@@ -112,6 +107,7 @@ func writeCSV(w *csv.Writer, s *hide.Suite) {
 			strconv.FormatFloat(eo*1000, 'f', 3, 64),
 			strconv.FormatFloat(r.Breakdown.SuspendFraction, 'f', 4, 64),
 		}
+		//lint:ignore errdrop csv.Writer defers write errors to Error(), checked after Flush
 		_ = w.Write(rec)
 	}
 	for _, c := range s.Comparisons {

@@ -12,7 +12,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"repro/internal/cli"
@@ -29,15 +28,13 @@ func main() {
 
 	tap, err := netmedium.Dial(*addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hidetap: %v\n", err)
-		os.Exit(1)
+		cli.Exit("hidetap", err)
 	}
 	defer tap.Close()
 
 	if *inject > 0 && *inject <= 0xffff {
 		if err := tap.Inject(netmedium.InjectRequest{DstPort: uint16(*inject), PayloadSize: 64}); err != nil {
-			fmt.Fprintf(os.Stderr, "hidetap: inject: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidetap", fmt.Errorf("inject: %w", err))
 		}
 		fmt.Printf("injected broadcast to udp/%d\n", *inject)
 	}
@@ -50,13 +47,13 @@ func main() {
 		if ctx.Err() != nil {
 			return
 		}
+		//lint:ignore determinism live capture deadline on a real socket, not simulation state
 		ev, err := tap.Next(time.Now().Add(*timeout))
 		if err != nil {
 			if ctx.Err() != nil {
 				return
 			}
-			fmt.Fprintf(os.Stderr, "hidetap: %v\n", err)
-			os.Exit(1)
+			cli.Exit("hidetap", err)
 		}
 		fmt.Println(describe(ev))
 	}

@@ -41,8 +41,7 @@ func main() {
 		"nexusone": "Nexus One", "galaxys4": "Galaxy S4",
 	}[strings.ToLower(*device)])
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(2)
+		cli.Usagef("sweep", "%v", err)
 	}
 	var sc hide.Scenario
 	found := false
@@ -53,24 +52,20 @@ func main() {
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "sweep: unknown scenario %q\n", *base)
-		os.Exit(2)
+		cli.Usagef("sweep", "unknown scenario %q", *base)
 	}
 	dens, err := parseFloats(*densities)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(2)
+		cli.Usagef("sweep", "%v", err)
 	}
 	fracs, err := parseFloats(*useful)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(2)
+		cli.Usagef("sweep", "%v", err)
 	}
 
 	baseTr, err := hide.GenerateTrace(sc)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		os.Exit(1)
+		cli.Exit("sweep", err)
 	}
 
 	type cell struct {
@@ -83,14 +78,12 @@ func main() {
 	var jobs []job
 	for _, d := range dens {
 		if d <= 0 {
-			fmt.Fprintf(os.Stderr, "sweep: density %v must be positive\n", d)
-			os.Exit(2)
+			cli.Usagef("sweep", "density %v must be positive", d)
 		}
 		// Density k = time-scale 1/k.
 		tr, err := hide.TimeScaleTrace(baseTr, 1/d)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
+			cli.Exit("sweep", err)
 		}
 		for _, f := range fracs {
 			jobs = append(jobs, job{tr: tr, d: d, f: f})
@@ -121,8 +114,10 @@ func main() {
 
 	if *format == "csv" {
 		w := csv.NewWriter(os.Stdout)
+		//lint:ignore errdrop csv.Writer defers write errors to Error(), checked after Flush
 		_ = w.Write([]string{"density", "mean_fps", "useful_fraction", "receive_all_mw", "hide_mw", "saving"})
 		for _, c := range cells {
+			//lint:ignore errdrop csv.Writer defers write errors to Error(), checked after Flush
 			_ = w.Write([]string{
 				strconv.FormatFloat(c.density, 'f', 2, 64),
 				strconv.FormatFloat(c.fps, 'f', 2, 64),
@@ -134,8 +129,7 @@ func main() {
 		}
 		w.Flush()
 		if err := w.Error(); err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
+			cli.Exit("sweep", err)
 		}
 		return
 	}

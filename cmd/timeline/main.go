@@ -14,7 +14,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
@@ -40,8 +39,7 @@ func main() {
 	case "galaxys4":
 		dev = hide.GalaxyS4
 	default:
-		fmt.Fprintf(os.Stderr, "timeline: unknown device %q\n", *device)
-		os.Exit(2)
+		cli.Usagef("timeline", "unknown device %q", *device)
 	}
 	var sc hide.Scenario
 	found := false
@@ -52,18 +50,15 @@ func main() {
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "timeline: unknown scenario %q\n", *scenario)
-		os.Exit(2)
+		cli.Usagef("timeline", "unknown scenario %q", *scenario)
 	}
 	if *width < 10 || *width > 500 {
-		fmt.Fprintf(os.Stderr, "timeline: width %d outside [10, 500]\n", *width)
-		os.Exit(2)
+		cli.Usagef("timeline", "width %d outside [10, 500]", *width)
 	}
 
 	full, err := hide.GenerateTrace(sc)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
-		os.Exit(1)
+		cli.Exit("timeline", err)
 	}
 	tr := hide.TruncateTrace(full, *window)
 	tagged := hide.TagUniform(tr, *useful, hide.DefaultSeed)
@@ -78,24 +73,20 @@ func main() {
 		cli.Abort(ctx, "timeline")
 		p, err := policy.New(k)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
-			os.Exit(1)
+			cli.Exit("timeline", err)
 		}
 		arr, err := p.Apply(tr, tagged)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
-			os.Exit(1)
+			cli.Exit("timeline", err)
 		}
 		cfg := energy.Config{Device: dev, Duration: tr.Duration}
 		ivs, err := energy.StateTimeline(arr, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
-			os.Exit(1)
+			cli.Exit("timeline", err)
 		}
 		b, err := energy.Compute(arr, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
-			os.Exit(1)
+			cli.Exit("timeline", err)
 		}
 		label := k.String()
 		if k == policy.ClientSide {

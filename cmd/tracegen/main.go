@@ -40,8 +40,7 @@ func main() {
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "tracegen: unknown scenario %q\n", *scenario)
-			os.Exit(2)
+			cli.Usagef("tracegen", "unknown scenario %q", *scenario)
 		}
 	}
 
@@ -55,8 +54,7 @@ func main() {
 		cli.Abort(ctx, "tracegen")
 		tr, err := hide.GenerateTrace(s)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
+			cli.Exit("tracegen", err)
 		}
 		counts := tr.FramesPerSecond()
 		c := hide.NewCDFInts(counts)
@@ -75,23 +73,20 @@ func main() {
 
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-				os.Exit(1)
+				cli.Exit("tracegen", err)
 			}
 			path := filepath.Join(*outDir, strings.ToLower(tr.Name)+".csv")
 			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-				os.Exit(1)
+				cli.Exit("tracegen", err)
 			}
 			if err := hide.WriteTraceCSV(f, tr); err != nil {
+				//lint:ignore errdrop close error is moot once the write has failed
 				f.Close()
-				fmt.Fprintf(os.Stderr, "tracegen: writing %s: %v\n", path, err)
-				os.Exit(1)
+				cli.Exit("tracegen", fmt.Errorf("writing %s: %v", path, err))
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "tracegen: closing %s: %v\n", path, err)
-				os.Exit(1)
+				cli.Exit("tracegen", fmt.Errorf("closing %s: %v", path, err))
 			}
 			fmt.Printf("  wrote %s\n", path)
 		}
@@ -102,8 +97,7 @@ func main() {
 		cli.Abort(ctx, "tracegen")
 		tr, err := hide.GenerateTrace(s)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
+			cli.Exit("tracegen", err)
 		}
 		hist := tr.PortHistogram()
 		type pc struct {

@@ -1,0 +1,84 @@
+package ap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/medium"
+	"repro/internal/sim"
+)
+
+// TestBeaconBytesInsensitiveToInsertionOrder locks in the property the
+// determinism analyzer exists to protect at the AP layer: the TIM and
+// BTIM elements are computed from the client map and the Client UDP
+// Port Table, both map-backed, so a beacon must come out byte-for-byte
+// identical no matter the order in which port updates populated those
+// maps (Algorithm 1's flag union is commutative and table lookups are
+// sorted).
+func TestBeaconBytesInsensitiveToInsertionOrder(t *testing.T) {
+	const n = 12
+	addrs := make([]dot11.MACAddr, n)
+	for i := range addrs {
+		addrs[i] = dot11.MACAddr{2, 0, 0, 0, 1, byte(i + 1)}
+	}
+	ports := func(i int) []uint16 {
+		return []uint16{uint16(5000 + i), uint16(6000 + i%4)}
+	}
+
+	build := func(perm []int) []byte {
+		eng := sim.New()
+		med := medium.New(eng, dot11.DefaultPHY(), 42)
+		a := New(eng, med, Config{BSSID: bssid, SSID: "perm", HIDE: true, DTIMPeriod: 1})
+		// Associations run in a fixed order so every trial binds the
+		// same AID to the same address; only map-population order may
+		// differ between trials.
+		for _, addr := range addrs {
+			if _, err := a.Associate(addr, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Port updates land in permuted order, preceded by a throwaway
+		// update per client so the table's internal maps also see
+		// per-trial histories, not just per-trial insertion orders.
+		for _, i := range perm {
+			a.Table().Update(dot11.AID(i+1), []uint16{9999})
+		}
+		for _, i := range perm {
+			a.Table().Update(dot11.AID(i+1), ports(i))
+		}
+		// Buffer group traffic for a port subset and unicast frames
+		// for a client subset, so the beacon carries both a populated
+		// BTIM and a populated TIM.
+		for i := 0; i < n; i += 3 {
+			a.EnqueueGroup(dot11.UDPDatagram{DstPort: uint16(5000 + i)}, dot11.Rate1Mbps)
+		}
+		for i := 0; i < n; i += 4 {
+			if err := a.EnqueueUnicast(addrs[i], dot11.UDPDatagram{DstPort: 7000}, dot11.Rate11Mbps); err != nil {
+				t.Fatal(err)
+			}
+		}
+		raw, err := a.buildBeacon(100*time.Millisecond, true).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	want := build(base)
+	for trial := 0; trial < 5; trial++ {
+		perm := append([]int(nil), base...)
+		rand.New(rand.NewSource(int64(trial))).Shuffle(n, func(i, j int) {
+			perm[i], perm[j] = perm[j], perm[i]
+		})
+		if got := build(perm); !bytes.Equal(got, want) {
+			t.Fatalf("beacon bytes differ for insertion order %v:\n got %x\nwant %x", perm, got, want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 )
 
@@ -90,12 +91,17 @@ func compareValue(path string, got, want any, relTol float64) error {
 		if len(g) != len(w) {
 			return fmt.Errorf("golden: %s: got %d keys, want %d", path, len(g), len(w))
 		}
-		for k, wv := range w {
+		keys := make([]string, 0, len(w))
+		for k := range w {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
 			gv, ok := g[k]
 			if !ok {
 				return fmt.Errorf("golden: %s: missing key %q", path, k)
 			}
-			if err := compareValue(path+"."+k, gv, wv, relTol); err != nil {
+			if err := compareValue(path+"."+k, gv, w[k], relTol); err != nil {
 				return err
 			}
 		}

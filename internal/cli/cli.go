@@ -50,3 +50,11 @@ func Abort(ctx context.Context, prog string) {
 		Exit(prog, err)
 	}
 }
+
+// Usagef prints a usage-level complaint (bad flag value, unknown
+// scenario, malformed argument) and exits 2, the flag package's
+// convention for command-line mistakes.
+func Usagef(prog, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, fmt.Sprintf(format, args...))
+	os.Exit(2)
+}

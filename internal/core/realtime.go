@@ -30,6 +30,8 @@ type Monitor struct {
 // the medium streams to subscribers; inject requests are applied at
 // the next simulation step. The returned Monitor's Close stops the
 // service.
+//
+//lint:ignore ctxfirst the monitor lifetime is owned by Close, not a context
 func (n *Network) ServeMonitor(pc net.PacketConn) *Monitor {
 	m := &Monitor{served: make(chan struct{})}
 	m.Server = netmedium.NewServer(pc, func(req netmedium.InjectRequest) {
@@ -41,7 +43,7 @@ func (n *Network) ServeMonitor(pc net.PacketConn) *Monitor {
 	n.monitor = m
 	go func() {
 		defer close(m.served)
-		_ = m.Server.Serve() // returns on Close
+		_ = m.Server.Serve() //lint:ignore errdrop Serve returns only when Close shuts the socket
 	}()
 	return m
 }

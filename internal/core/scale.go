@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/energy"
@@ -40,12 +41,7 @@ func ScaleClients(tr *trace.Trace, dev energy.Profile, sizes []int) ([]ScalePoin
 	if len(ports) == 0 {
 		return nil, fmt.Errorf("core: trace has no ports to assign")
 	}
-	// Deterministic order.
-	for i := 1; i < len(ports); i++ {
-		for j := i; j > 0 && ports[j-1] > ports[j]; j-- {
-			ports[j-1], ports[j] = ports[j], ports[j-1]
-		}
-	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
 
 	var out []ScalePoint
 	for _, n := range sizes {

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the context-first API convention established by
+// the parallel engine: in internal/core, internal/check, and
+// internal/engine, exported functions that spawn goroutines or fan
+// work over the engine's worker pool must take a context.Context as
+// their first parameter (so Ctrl-C reaches every evaluation cell),
+// and the legacy non-Context entry points must be one-line
+// delegations to their Context variants so the two can never drift.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "exported functions in internal/core, internal/check, and internal/engine " +
+		"that spawn goroutines or call engine.Map/ForEach must take context.Context " +
+		"first; a legacy Foo alongside FooContext must be a one-line delegation",
+	Run: runCtxFirst,
+}
+
+// ctxFirstScope lists the packages carrying the convention.
+var ctxFirstScope = map[string]bool{
+	"internal/core":   true,
+	"internal/check":  true,
+	"internal/engine": true,
+}
+
+func runCtxFirst(p *Pass) error {
+	if !ctxFirstScope[p.RelPath()] {
+		return nil
+	}
+	// Collect exported top-level functions by name (receiver-qualified
+	// for methods) to pair shims with their Context variants.
+	decls := make(map[string]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			decls[declKey(fn)] = fn
+		}
+	}
+	for _, fn := range decls {
+		hasCtx := firstParamIsContext(p, fn)
+		if !hasCtx && (spawnsGoroutine(fn) || fansOutOnEngine(p, fn)) {
+			p.Reportf(fn.Pos(), "exported %s spawns concurrent work but does not take context.Context as its first parameter", fn.Name.Name)
+			continue
+		}
+		if hasCtx {
+			continue
+		}
+		ctxVariant, ok := decls[declKey(fn)+"Context"]
+		if !ok || !firstParamIsContext(p, ctxVariant) {
+			continue
+		}
+		if !isOneLineDelegation(p, fn, ctxVariant.Name.Name) {
+			p.Reportf(fn.Pos(), "legacy %s must be a one-line delegation to %s(context.Background(), ...)", fn.Name.Name, ctxVariant.Name.Name)
+		}
+	}
+	return nil
+}
+
+// declKey names a function declaration, prefixing methods with their
+// receiver type so Foo and (T).Foo don't collide.
+func declKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// firstParamIsContext reports whether fn's first (non-receiver)
+// parameter is a context.Context.
+func firstParamIsContext(p *Pass, fn *ast.FuncDecl) bool {
+	params := fn.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	t := p.TypesInfo.TypeOf(params.List[0].Type)
+	return t != nil && isContext(t)
+}
+
+// spawnsGoroutine reports whether fn's body contains a go statement.
+func spawnsGoroutine(fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// fansOutOnEngine reports whether fn calls the worker pool's
+// engine.Map or engine.ForEach.
+func fansOutOnEngine(p *Pass, fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		f := funcObj(p.TypesInfo, call)
+		if f != nil && f.Pkg() != nil &&
+			f.Pkg().Path() == p.ModulePath+"/internal/engine" &&
+			(f.Name() == "Map" || f.Name() == "ForEach") {
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() == nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isOneLineDelegation reports whether fn's body is exactly
+// `return Target(context.Background()|context.TODO(), ...)`.
+func isOneLineDelegation(p *Pass, fn *ast.FuncDecl, target string) bool {
+	if len(fn.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch stmt := fn.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(stmt.Results) != 1 {
+			return false
+		}
+		call, _ = ast.Unparen(stmt.Results[0]).(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(stmt.X).(*ast.CallExpr)
+	default:
+		return false
+	}
+	if call == nil {
+		return false
+	}
+	f := funcObj(p.TypesInfo, call)
+	if f == nil || f.Name() != target {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	bg := funcObj(p.TypesInfo, first)
+	return bg != nil && bg.Pkg() != nil && bg.Pkg().Path() == "context" &&
+		(bg.Name() == "Background" || bg.Name() == "TODO")
+}

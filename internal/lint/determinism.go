@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the repo's byte-identity story: the analytic
+// model, the frame-level simulation, and the parallel engine must
+// produce the same bytes on every run at every worker count, so
+// deterministic code may not read the wall clock, draw from the
+// shared math/rand source, or let map iteration order reach anything
+// order-sensitive.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now/time.Since/time.Until, the global math/rand source, and " +
+		"order-sensitive map iteration (appending without a later sort, printing, or " +
+		"returning a value mid-iteration) outside the real-time allowlist " +
+		"(internal/sim/realtime.go, internal/porttable/measure.go, internal/cli)",
+	Run: runDeterminism,
+}
+
+// determinismAllowFiles maps a module-relative package path to file
+// base names excused from the check: the real-time adapter pins
+// virtual time to the wall clock by design, and the porttable
+// calibration harness measures real elapsed time.
+var determinismAllowFiles = map[string]string{
+	"internal/sim":       "realtime.go",
+	"internal/porttable": "measure.go",
+}
+
+// bannedClockFuncs are the wall-clock reads.
+var bannedClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// allowedRandFuncs construct private deterministic sources and are
+// fine; everything else package-level in math/rand draws from the
+// shared global source.
+var allowedRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(p *Pass) error {
+	if p.RelPath() == "internal/cli" {
+		return nil // terminal plumbing, wall-clock adjacent by nature
+	}
+	for _, f := range p.Files {
+		base := filenameBase(p, f)
+		if determinismAllowFiles[p.RelPath()] == base {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkBannedCall(p, n)
+				case *ast.RangeStmt:
+					checkMapRange(p, fn, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// filenameBase returns the base name of the file a node lives in.
+func filenameBase(p *Pass, f *ast.File) string {
+	name := p.Fset.Position(f.Pos()).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// checkBannedCall flags wall-clock reads and global math/rand draws.
+func checkBannedCall(p *Pass, call *ast.CallExpr) {
+	fn := funcObj(p.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if bannedClockFuncs[fn.Name()] {
+			p.Reportf(call.Pos(), "time.%s reads the wall clock in deterministic code; use the simulation clock", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRandFuncs[fn.Name()] {
+			p.Reportf(call.Pos(), "%s.%s draws from the shared global source; use a seeded *rand.Rand (rand.New)", fn.Pkg().Path(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags range-over-map loops whose body is sensitive to
+// iteration order: appending to an outer slice that is never sorted
+// afterwards, writing output, or returning a value mid-iteration.
+func checkMapRange(p *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	t := p.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	var appendTargets []types.Object
+	reported := false
+	report := func(n ast.Node, format string, args ...any) {
+		if !reported {
+			reported = true
+			p.Reportf(rs.Pos(), format, args...)
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 {
+				report(n, "returns a value from inside map iteration, so the result depends on map order; iterate sorted keys")
+			}
+		case *ast.CallExpr:
+			if fn := funcObj(p.TypesInfo, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				report(n, "writes output from inside map iteration, so output order depends on map order; iterate sorted keys")
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" || !isBuiltin(p.TypesInfo, id) {
+					continue
+				}
+				for _, lhs := range n.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := p.TypesInfo.Uses[id]
+					if obj == nil {
+						obj = p.TypesInfo.Defs[id]
+					}
+					// Only appends escaping the loop are order-sensitive.
+					if obj != nil && obj.Pos() < rs.Pos() {
+						appendTargets = append(appendTargets, obj)
+					}
+				}
+			}
+		}
+		return !reported
+	})
+	if reported {
+		return
+	}
+	for _, obj := range appendTargets {
+		if !sortedAfter(p, fn, rs, obj) {
+			p.Reportf(rs.Pos(), "appends to %q in map-iteration order without sorting it afterwards; sort the slice (or iterate sorted keys)", obj.Name())
+			return
+		}
+	}
+}
+
+// isBuiltin reports whether id resolves to a builtin.
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sortedAfter reports whether, later in the same function, obj is
+// passed to a sort.* or slices.Sort* call — the collect-then-sort
+// idiom that restores determinism.
+func sortedAfter(p *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		f := funcObj(p.TypesInfo, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		pkg := f.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && p.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ElemConst keeps the 802.11 protocol numbers HIDE reserves in one
+// place. The element IDs 200 (Open UDP Ports) and 201 (BTIM) and the
+// AID upper bound 2007 are protocol constants defined once in
+// internal/dot11; a hand-typed copy elsewhere can silently drift from
+// the wire format the paper specifies, so any integer literal with one
+// of those values flowing into a byte- or dot11-typed position outside
+// internal/dot11 is flagged.
+var ElemConst = &Analyzer{
+	Name: "elemconst",
+	Doc: "the protocol numbers 200/201 (HIDE element IDs) and 2007 (max AID) may " +
+		"appear as literals only inside internal/dot11; elsewhere reference " +
+		"dot11.ElementIDOpenUDPPorts, dot11.ElementIDBTIM, or dot11.MaxAID",
+	Run: runElemConst,
+}
+
+// elemConstNames maps each reserved value to the constant to use.
+var elemConstNames = map[int64]string{
+	200:  "dot11.ElementIDOpenUDPPorts",
+	201:  "dot11.ElementIDBTIM",
+	2007: "dot11.MaxAID",
+}
+
+func runElemConst(p *Pass) error {
+	if p.RelPath() == "internal/dot11" {
+		return nil // the constants' home
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.INT {
+				return true
+			}
+			tv, ok := p.TypesInfo.Types[lit]
+			if !ok || tv.Value == nil {
+				return true
+			}
+			v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+			if !ok {
+				return true
+			}
+			name, reserved := elemConstNames[v]
+			if !reserved || !protocolTyped(tv.Type, v, p.ModulePath) {
+				return true
+			}
+			p.Reportf(lit.Pos(), "magic 802.11 protocol number %d; use %s from internal/dot11", v, name)
+			return true
+		})
+	}
+	return nil
+}
+
+// protocolTyped reports whether the literal's contextual type marks it
+// as a protocol field: a uint8/byte (element IDs, DTIM fields), a
+// uint16 for the AID bound, or any named type defined in
+// internal/dot11 (AID, Rate, ...). Plain int counters, durations, and
+// float parameters pass untouched.
+func protocolTyped(t types.Type, v int64, modpath string) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == modpath+"/internal/dot11"
+	}
+	if basic, ok := t.(*types.Basic); ok {
+		switch basic.Kind() {
+		case types.Uint8:
+			return true
+		case types.Uint16:
+			return v == 2007
+		}
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop forbids silently discarding errors. An unchecked error in
+// the trace writer or the network layer turns a short write into a
+// corrupt experiment input, and the cross-validation harness can only
+// vouch for runs whose I/O actually happened. Discards must either be
+// handled or carry a //lint:ignore errdrop justification.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "non-test code may not discard an error result via _ or a bare call " +
+		"without a //lint:ignore errdrop justification (fmt printing and in-memory " +
+		"buffer writes are exempt)",
+	Run: runErrDrop,
+}
+
+func runErrDrop(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankErrorAssign(p, n)
+			case *ast.ExprStmt:
+				checkBareErrorCall(p, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankErrorAssign flags `_ = f()` and `x, _ := g()` where the
+// discarded component is an error.
+func checkBlankErrorAssign(p *Pass, n *ast.AssignStmt) {
+	// Multi-value call on the right: match blanks against the tuple.
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		tup, ok := p.TypesInfo.TypeOf(n.Rhs[0]).(*types.Tuple)
+		if !ok || tup.Len() != len(n.Lhs) {
+			return
+		}
+		for i, lhs := range n.Lhs {
+			if isBlank(lhs) && types.Identical(tup.At(i).Type(), errorType) {
+				p.Reportf(lhs.Pos(), "error discarded via _; handle it or add //lint:ignore errdrop <reason>")
+			}
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		if isBlank(lhs) && types.Identical(p.TypesInfo.TypeOf(n.Rhs[i]), errorType) {
+			p.Reportf(lhs.Pos(), "error discarded via _; handle it or add //lint:ignore errdrop <reason>")
+		}
+	}
+}
+
+// checkBareErrorCall flags expression-statement calls whose results
+// include an error.
+func checkBareErrorCall(p *Pass, stmt *ast.ExprStmt) {
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	t := p.TypesInfo.TypeOf(call)
+	if t == nil || !resultHasError(t) {
+		return
+	}
+	if errDropExempt(p, call) {
+		return
+	}
+	p.Reportf(call.Pos(), "call discards its error result; handle it or add //lint:ignore errdrop <reason>")
+}
+
+// resultHasError reports whether a call result type contains error.
+func resultHasError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+// errDropExempt excuses the conventional never-checked cases: the fmt
+// print family (checking every Printf would drown the real findings)
+// and writes to in-memory buffers, which are documented not to fail.
+func errDropExempt(p *Pass, call *ast.CallExpr) bool {
+	fn := funcObj(p.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true // Write* on in-memory buffers never returns an error
+	}
+	return false
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ExitPath guards the exit-130 interrupt contract: every binary must
+// terminate through internal/cli (Exit for runtime errors, Usagef for
+// flag mistakes), which maps a cancelled context to exit code 130 the
+// way shells expect for SIGINT. A direct os.Exit or log.Fatal skips
+// that mapping and makes cancellation indistinguishable from failure.
+var ExitPath = &Analyzer{
+	Name: "exitpath",
+	Doc: "cmd/* may not call os.Exit or log.Fatal*/log.Panic* directly; route " +
+		"termination through internal/cli.Exit, Usagef, or Abort so SIGINT keeps " +
+		"its exit-130 contract",
+	Run: runExitPath,
+}
+
+// exitPathBannedLog is the log package's set of exiting/panicking
+// functions.
+var exitPathBannedLog = map[string]bool{
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+func runExitPath(p *Pass) error {
+	if !strings.HasPrefix(p.RelPath(), "cmd/") {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(p.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case isPkgFunc(fn, "os", "Exit"):
+				p.Reportf(call.Pos(), "direct os.Exit bypasses internal/cli's exit-130 interrupt contract; use cli.Exit or cli.Usagef")
+			case fn.Pkg().Path() == "log" && exitPathBannedLog[fn.Name()]:
+				p.Reportf(call.Pos(), "log.%s exits without internal/cli's exit-130 interrupt contract; use cli.Exit or cli.Usagef", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture loader is shared across tests so the standard library
+// type-checks once per test binary, not once per analyzer.
+var (
+	loaderOnce sync.Once
+	testLoader *Loader
+	loaderErr  error
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := filepath.Abs("../..")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		testLoader, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return testLoader
+}
+
+// loadFixture type-checks testdata/src/<dir> under the import path of
+// the code it imitates and runs one analyzer over it.
+func loadFixture(t *testing.T, a *Analyzer, dir, asPath string) []Diagnostic {
+	t.Helper()
+	pkg, err := fixtureLoader(t).LoadDirAs(filepath.Join("testdata", "src", dir), asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	return diags
+}
+
+// wantRe matches one // want `regexp` expectation trailing fixture
+// code: the analyzer must report a diagnostic on that line whose
+// message matches the regexp.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// checkFixture runs the analyzer over the fixture and compares its
+// diagnostics line-by-line against the fixture's // want comments,
+// in the style of go/analysis's analysistest.
+func checkFixture(t *testing.T, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := fixtureLoader(t).LoadDirAs(filepath.Join("testdata", "src", dir), asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	var wants []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, expectation{pos.Filename, pos.Line, re})
+			}
+		}
+	}
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, Determinism, "determinism", "repro/internal/core")
+}
+
+// TestDeterminismAllowlist pins the allowlist: the same wall-clock
+// read that the fixture flags is excused in internal/sim/realtime.go.
+func TestDeterminismAllowlist(t *testing.T) {
+	diags := loadFixture(t, Determinism, "determinism_allow", "repro/internal/sim")
+	if len(diags) != 0 {
+		t.Errorf("allowlisted file reported: %v", diags)
+	}
+}
+
+func TestCtxFirstFixture(t *testing.T) {
+	checkFixture(t, CtxFirst, "ctxfirst", "repro/internal/core")
+}
+
+// TestCtxFirstOutOfScope re-analyzes the same fixture outside the
+// convention's packages, where nothing may be reported.
+func TestCtxFirstOutOfScope(t *testing.T) {
+	diags := loadFixture(t, CtxFirst, "ctxfirst", "repro/internal/trace")
+	if len(diags) != 0 {
+		t.Errorf("out-of-scope package reported: %v", diags)
+	}
+}
+
+func TestExitPathFixture(t *testing.T) {
+	checkFixture(t, ExitPath, "exitpath", "repro/cmd/fixture")
+}
+
+func TestElemConstFixture(t *testing.T) {
+	checkFixture(t, ElemConst, "elemconst", "repro/internal/station")
+}
+
+func TestErrDropFixture(t *testing.T) {
+	checkFixture(t, ErrDrop, "errdrop", "repro/internal/fixture")
+}
+
+// TestIgnoreNeedsReason pins the directive contract: a reasonless
+// //lint:ignore is itself reported and suppresses nothing.
+func TestIgnoreNeedsReason(t *testing.T) {
+	diags := loadFixture(t, ErrDrop, "ignore", "repro/internal/fixture")
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (bad directive + unsuppressed finding): %v", len(diags), diags)
+	}
+	var checks []string
+	for _, d := range diags {
+		checks = append(checks, d.Check)
+	}
+	got := strings.Join(checks, ",")
+	if got != "ignore,errdrop" && got != "errdrop,ignore" {
+		t.Errorf("got checks %q, want an ignore finding and an errdrop finding", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %v, %v", all, err)
+	}
+	two, err := ByName("determinism, errdrop")
+	if err != nil || len(two) != 2 || two[0].Name != "determinism" || two[1].Name != "errdrop" {
+		t.Fatalf("ByName(two) = %v, %v", two, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(\"nope\") succeeded, want error")
+	}
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the ctxfirst analyzer. The test harness
+// analyzes it as repro/internal/core, where the context-first
+// convention applies: concurrent exported functions take a Context
+// first, and legacy entry points are one-line delegations.
+package fixture
+
+import "context"
+
+// RunContext is the context-first entry point; its goroutine is fine
+// because cancellation can reach it.
+func RunContext(ctx context.Context, n int) int {
+	done := make(chan struct{})
+	go func() {
+		<-ctx.Done()
+		close(done)
+	}()
+	return n
+}
+
+// Run delegates in one line, as the convention requires.
+func Run(n int) int {
+	return RunContext(context.Background(), n)
+}
+
+// Spawn launches a goroutine no caller can cancel.
+func Spawn() { // want `exported Spawn spawns concurrent work`
+	go func() {}()
+}
+
+// WalkContext is the context variant Walk fails to delegate to.
+func WalkContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// Walk re-implements WalkContext instead of delegating, so the two
+// can drift apart.
+func Walk(n int) int { // want `legacy Walk must be a one-line delegation to WalkContext`
+	if n < 0 {
+		return 0
+	}
+	return n
+}

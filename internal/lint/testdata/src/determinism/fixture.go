@@ -1,0 +1,65 @@
+// Package fixture exercises the determinism analyzer: wall-clock
+// reads, draws from the shared math/rand source, and order-sensitive
+// map iteration. The test harness analyzes it as repro/internal/core,
+// squarely inside deterministic territory.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock two ways.
+func Clock() time.Duration {
+	start := time.Now()      // want `time.Now reads the wall clock`
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+// GlobalRand draws from the shared source; the private seeded source
+// next to it is fine.
+func GlobalRand() float64 {
+	r := rand.New(rand.NewSource(7))
+	return r.Float64() + rand.Float64() // want `math/rand.Float64 draws from the shared global source`
+}
+
+// CollectUnsorted appends in map-iteration order and never sorts.
+func CollectUnsorted(m map[int]bool) []int {
+	var out []int
+	for k := range m { // want `appends to "out" in map-iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectSorted is the blessed collect-then-sort idiom.
+func CollectSorted(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ReturnMid returns a value from inside the iteration.
+func ReturnMid(m map[int]string) string {
+	for _, v := range m { // want `returns a value from inside map iteration`
+		return v
+	}
+	return ""
+}
+
+// PrintMid writes output mid-iteration.
+func PrintMid(m map[int]bool) {
+	for k := range m { // want `writes output from inside map iteration`
+		fmt.Println(k)
+	}
+}
+
+// Suppressed shows a justified directive silencing one line.
+func Suppressed() time.Time {
+	//lint:ignore determinism fixture demonstrates a justified suppression
+	return time.Now()
+}

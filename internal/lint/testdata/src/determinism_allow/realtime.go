@@ -1,0 +1,11 @@
+// Package fixture stands in for the real-time adapter: analyzed as
+// repro/internal/sim, this file's name puts it on the determinism
+// allowlist, so its wall-clock read must not be reported.
+package fixture
+
+import "time"
+
+// WallClock pins virtual time to the wall clock by design.
+func WallClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,37 @@
+// Package fixture exercises the elemconst analyzer. The test harness
+// analyzes it as repro/internal/station, outside internal/dot11 where
+// the protocol numbers 200, 201, and 2007 may not appear as literals
+// in protocol-typed positions.
+package fixture
+
+import (
+	"time"
+
+	"repro/internal/dot11"
+)
+
+// BadElementID hand-types the BTIM element ID.
+func BadElementID() byte {
+	return 201 // want `magic 802.11 protocol number 201`
+}
+
+// BadPortsID writes the vendor element ID into a byte slice.
+func BadPortsID() []byte {
+	return []byte{200, 0} // want `magic 802.11 protocol number 200`
+}
+
+// BadAID hand-types the association-ID bound.
+func BadAID() dot11.AID {
+	return 2007 // want `magic 802.11 protocol number 2007`
+}
+
+// GoodConstants reference internal/dot11 by name.
+func GoodConstants() (byte, dot11.AID) {
+	return dot11.ElementIDBTIM, dot11.MaxAID
+}
+
+// PlainNumbers shows the same digits are fine in non-protocol types:
+// an int counter and a duration share the values without ambiguity.
+func PlainNumbers() (int, time.Duration) {
+	return 201, 200 * time.Millisecond
+}

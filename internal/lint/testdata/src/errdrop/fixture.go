@@ -1,0 +1,34 @@
+// Package fixture exercises the errdrop analyzer: discarded error
+// results, the conventional exemptions, and a justified suppression.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Dropped discards errors every way the check catches.
+func Dropped() int {
+	_ = work()     // want `error discarded via _`
+	work()         // want `call discards its error result`
+	n, _ := pair() // want `error discarded via _`
+	return n
+}
+
+// Handled checks, exempts, and justifies.
+func Handled() error {
+	if err := work(); err != nil {
+		return err
+	}
+	//lint:ignore errdrop fixture demonstrates a justified suppression
+	_ = work()
+	var b strings.Builder
+	b.WriteString("ok")
+	fmt.Println(b.String())
+	return nil
+}

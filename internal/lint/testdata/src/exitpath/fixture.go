@@ -1,0 +1,27 @@
+// Package fixture exercises the exitpath analyzer. The test harness
+// analyzes it as repro/cmd/fixture, where every termination must route
+// through internal/cli to keep the exit-130 interrupt contract.
+package fixture
+
+import (
+	"errors"
+	"log"
+	"os"
+
+	"repro/internal/cli"
+)
+
+// Bail exits directly instead of going through internal/cli.
+func Bail() {
+	os.Exit(1) // want `direct os.Exit bypasses internal/cli`
+}
+
+// Crash takes the log.Fatal shortcut.
+func Crash() {
+	log.Fatalf("boom") // want `log.Fatalf exits without internal/cli`
+}
+
+// Graceful routes termination through the shared helpers.
+func Graceful() {
+	cli.Exit("fixture", errors.New("boom"))
+}

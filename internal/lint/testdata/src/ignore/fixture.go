@@ -1,0 +1,14 @@
+// Package fixture exercises the ignore-directive contract: a
+// suppression without a justification is itself reported and does not
+// silence the finding it precedes.
+package fixture
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+// Unjustified suppresses without saying why.
+func Unjustified() {
+	//lint:ignore errdrop
+	_ = work()
+}

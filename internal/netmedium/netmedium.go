@@ -214,6 +214,7 @@ func (s *Server) Serve() error {
 		case MsgPing:
 			pong, err := Message{Type: MsgPong}.Marshal()
 			if err == nil {
+				//lint:ignore errdrop best-effort pong; a lost reply looks like a lost packet
 				_, _ = s.pc.WriteTo(pong, from)
 			}
 		default:
@@ -269,10 +270,12 @@ func Dial(addr string) (*Tap, error) {
 	t := &Tap{conn: conn}
 	msg, err := Message{Type: MsgSubscribe}.Marshal()
 	if err != nil {
+		//lint:ignore errdrop close error is moot once subscribing has failed
 		conn.Close()
 		return nil, err
 	}
 	if _, err := conn.Write(msg); err != nil {
+		//lint:ignore errdrop close error is moot once subscribing has failed
 		conn.Close()
 		return nil, fmt.Errorf("netmedium: subscribing: %w", err)
 	}
@@ -311,6 +314,7 @@ func (t *Tap) Inject(req InjectRequest) error {
 // Close unsubscribes and closes the tap.
 func (t *Tap) Close() error {
 	if msg, err := (Message{Type: MsgUnsubscribe}).Marshal(); err == nil {
+		//lint:ignore errdrop best-effort unsubscribe; the server also times taps out
 		_, _ = t.conn.Write(msg)
 	}
 	return t.conn.Close()

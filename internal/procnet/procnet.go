@@ -118,6 +118,7 @@ func LocalOpenPorts() ([]uint16, error) {
 		}
 		found = true
 		s, perr := ParseTable(f)
+		//lint:ignore errdrop read-side close; parse errors are already captured
 		f.Close()
 		if perr != nil {
 			return nil, fmt.Errorf("procnet: %s: %w", path, perr)

@@ -64,8 +64,9 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			for i := range tr.Name {
 				if tr.Name[i] == ';' {
 					var durUS int64
-					fmt.Sscanf(tr.Name[i:], ";duration_us=%d", &durUS)
-					tr.Duration = time.Duration(durUS) * time.Microsecond
+					if _, err := fmt.Sscanf(tr.Name[i:], ";duration_us=%d", &durUS); err == nil {
+						tr.Duration = time.Duration(durUS) * time.Microsecond
+					}
 					tr.Name = tr.Name[:i]
 					break
 				}
