@@ -12,10 +12,15 @@
 // Usage:
 //
 //	crosscheck [-duration 45m] [-seeds 3] [-useful 0.1] [-invariants] [-parallel N] [-v]
+//	crosscheck -fault <scenario,...|all|list> [-duration 60s] [-parallel N]
 //
 // The default duration of 0 keeps the paper's full capture durations
 // (30-60 min of virtual time per trace); -duration shortens the traces
 // for quick runs.
+//
+// With -fault, crosscheck runs the chaos grid instead: each selected
+// fault scenario runs against the trace grid twice per seed, checking
+// runtime invariants, fail-safe recovery, and same-seed determinism.
 package main
 
 import (
@@ -32,10 +37,15 @@ func main() {
 	seeds := flag.Int("seeds", 3, "number of generator-seed perturbations per scenario")
 	useful := flag.Float64("useful", 0.10, "target useful-traffic fraction (port-derived)")
 	invariants := flag.Bool("invariants", true, "attach runtime invariant checks to every protocol run")
+	faultNames := flag.String("fault", "", "run the chaos fault grid instead: scenario name(s), \"all\", or \"list\"")
 	workers := cli.WorkersFlag()
 	verbose := flag.Bool("v", false, "print every cell, not just the summary")
 	flag.Parse()
 
+	if *faultNames != "" {
+		runFaultGrid(*faultNames, *duration, *workers)
+		return
+	}
 	if *seeds < 1 {
 		cli.Usagef("crosscheck", "-seeds must be at least 1")
 	}
@@ -77,6 +87,38 @@ func main() {
 	//lint:ignore determinism wall-clock elapsed-time reporting, not simulation state
 	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
 	if err := res.Err(); err != nil {
+		cli.Exit("crosscheck", err)
+	}
+}
+
+// runFaultGrid runs the chaos grid for the named scenarios and exits
+// non-zero on any invariant, recovery, or determinism failure.
+func runFaultGrid(names string, duration time.Duration, workers int) {
+	if names == "list" {
+		for _, sc := range check.DefaultChaosScenarios() {
+			fmt.Printf("%-14s %s\n", sc.Name, sc.Note)
+		}
+		return
+	}
+	scenarios, err := check.ScenariosByName(names)
+	if err != nil {
+		cli.Usagef("crosscheck", "%v", err)
+	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	start := time.Now() //lint:ignore determinism wall-clock elapsed-time reporting, not simulation state
+	results, err := check.RunChaosGrid(ctx, check.ChaosConfig{
+		Scenarios: scenarios,
+		Duration:  duration,
+		Workers:   workers,
+	})
+	if err != nil {
+		cli.Exit("crosscheck", err)
+	}
+	fmt.Print(check.ChaosReport(results))
+	//lint:ignore determinism wall-clock elapsed-time reporting, not simulation state
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	if err := check.ChaosErr(results); err != nil {
 		cli.Exit("crosscheck", err)
 	}
 }

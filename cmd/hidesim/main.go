@@ -11,6 +11,11 @@
 // Usage:
 //
 //	hidesim [-device nexusone|galaxys4|all] [-metric power|suspend|all] [-components] [-parallel N]
+//	hidesim -fault <scenario,...|all|list> [-parallel N]
+//
+// With -fault, hidesim skips the energy study and runs the chaos grid
+// for the selected fault scenarios: invariant checks, fail-safe
+// recovery, and same-seed determinism under injected faults.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/check"
 	"repro/internal/cli"
 )
 
@@ -30,8 +36,14 @@ func main() {
 	metric := flag.String("metric", "all", "metric: power (Fig. 7/8), suspend (Fig. 9), or all")
 	components := flag.Bool("components", false, "print the five energy components per bar")
 	format := flag.String("format", "table", "output format: table or csv (machine-readable, for plotting)")
+	faultNames := flag.String("fault", "", "run the chaos fault grid instead: scenario name(s), \"all\", or \"list\"")
 	workers := cli.WorkersFlag()
 	flag.Parse()
+
+	if *faultNames != "" {
+		runFaultGrid(*faultNames, *workers)
+		return
+	}
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
@@ -89,6 +101,34 @@ func main() {
 		if *metric == "suspend" || *metric == "all" {
 			printSuspend(suite)
 		}
+	}
+}
+
+// runFaultGrid runs the chaos grid for the named scenarios and exits
+// non-zero on any invariant, recovery, or determinism failure.
+func runFaultGrid(names string, workers int) {
+	if names == "list" {
+		for _, sc := range check.DefaultChaosScenarios() {
+			fmt.Printf("%-14s %s\n", sc.Name, sc.Note)
+		}
+		return
+	}
+	scenarios, err := check.ScenariosByName(names)
+	if err != nil {
+		cli.Usagef("hidesim", "%v", err)
+	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	results, err := check.RunChaosGrid(ctx, check.ChaosConfig{
+		Scenarios: scenarios,
+		Workers:   workers,
+	})
+	if err != nil {
+		cli.Exit("hidesim", err)
+	}
+	fmt.Print(check.ChaosReport(results))
+	if err := check.ChaosErr(results); err != nil {
+		cli.Exit("hidesim", err)
 	}
 }
 

@@ -38,6 +38,15 @@ type Config struct {
 	// of being buffered and indicated in the TIM. Frames whose payload
 	// cannot be classified as UDP always pass (conservative).
 	FilterUnicast bool
+	// PortTTL expires Client UDP Port Table entries whose last refresh
+	// is older than this, swept when each beacon is built. A client
+	// that crashed without deregistering stops refreshing, so its stale
+	// entries — which would inflate every other client's wakeups
+	// forever — age out after one TTL. Stations should refresh well
+	// within the TTL (station.Config.PortRefresh). Zero disables
+	// expiry: entries then live until disassociation, the paper's
+	// behaviour.
+	PortTTL time.Duration
 }
 
 // normalized fills defaults and clamps fields to protocol limits.
@@ -89,14 +98,23 @@ type Stats struct {
 	UnicastFiltered  int
 	Disassociations  int
 	// GroupFramesEnqueued counts group frames accepted from the
-	// distribution system; together with GroupFramesSent and
-	// BufferedGroupFrames it closes the group-frame conservation
-	// equation (enqueued = sent + pending).
+	// distribution system; together with GroupFramesSent,
+	// BufferedGroupFrames, and GroupFramesLost it closes the group-frame
+	// conservation equation (enqueued = sent + pending + lost).
 	GroupFramesEnqueued int
 	// UnicastEnqueued counts unicast frames accepted for buffering,
 	// including frames the FilterUnicast extension then dropped
-	// (enqueued = served + filtered + pending).
+	// (enqueued = served + filtered + pending + lost).
 	UnicastEnqueued int
+	// Restarts counts Restart calls (simulated AP power-cycles).
+	Restarts int
+	// GroupFramesLost and UnicastFramesLost count buffered frames wiped
+	// by a Restart — the lost terms of the conservation equations.
+	GroupFramesLost   int
+	UnicastFramesLost int
+	// PortEntriesExpired counts clients aged out of the Client UDP Port
+	// Table by the PortTTL sweep.
+	PortEntriesExpired int
 }
 
 // BeaconView is the snapshot of AP state an Observer receives for each
@@ -136,7 +154,8 @@ type AP struct {
 	nextAID dot11.AID
 	group   []bufferedGroup
 	seq     uint16
-	dtim    int // beacons until next DTIM (the DTIM count)
+	dtim    int           // beacons until next DTIM (the DTIM count)
+	bootAt  time.Duration // virtual time of the last (re)boot; TSF epoch
 	stats   Stats
 	obs     Observer
 	flagFn  func(bufferedPorts []uint16, table *porttable.Table) *dot11.VirtualBitmap
@@ -252,8 +271,35 @@ func (a *AP) EnqueueUnicast(dst dot11.MACAddr, d dot11.UDPDatagram, rate dot11.R
 	return nil
 }
 
+// Restart models an AP power-cycle that loses all soft state: the
+// Client UDP Port Table, buffered group and unicast frames, and the
+// TSF timer — the beacon timestamp restarts from zero, which is how
+// stations detect the restart and re-register their open ports.
+// Associations survive (as with APs that persist them across a fast
+// reboot; a full re-association is modelled with Disassociate +
+// StartAssociation instead). Wiped frames are counted in
+// GroupFramesLost/UnicastFramesLost so the conservation equations keep
+// closing, and the DTIM cycle restarts at the next beacon.
+func (a *AP) Restart() {
+	a.bootAt = a.eng.Now()
+	a.table = porttable.New()
+	a.stats.GroupFramesLost += len(a.group)
+	a.group = a.group[:0]
+	for _, c := range a.clients {
+		a.stats.UnicastFramesLost += len(c.unicast)
+		c.unicast = nil
+	}
+	a.dtim = 0
+	a.stats.Restarts++
+}
+
 // beaconTick emits one beacon and, on DTIMs, flushes group traffic.
 func (a *AP) beaconTick(now time.Duration) {
+	// TTL sweep before the beacon is built, so an expired client is
+	// never indicated in the BTIM it can no longer want.
+	if a.cfg.PortTTL > 0 && now > a.cfg.PortTTL {
+		a.stats.PortEntriesExpired += len(a.table.ExpireBefore(now - a.cfg.PortTTL))
+	}
 	isDTIM := a.dtim == 0
 	beacon := a.buildBeacon(now, isDTIM)
 	if a.obs != nil {
@@ -306,7 +352,7 @@ func (a *AP) buildBeacon(now time.Duration, isDTIM bool) *dot11.Beacon {
 			Addr1: dot11.Broadcast, Addr2: a.cfg.BSSID, Addr3: a.cfg.BSSID,
 			Seq: a.nextSeq(),
 		},
-		Timestamp:      uint64(now / time.Microsecond),
+		Timestamp:      uint64((now - a.bootAt) / time.Microsecond),
 		BeaconInterval: uint16(a.cfg.BeaconInterval / dot11.TU),
 		SSID:           a.cfg.SSID,
 		TIM:            tim,
@@ -377,14 +423,14 @@ func (a *AP) flushGroup() {
 func (a *AP) Receive(raw []byte, rate dot11.Rate, now time.Duration) {
 	switch dot11.Classify(raw) {
 	case dot11.KindAssocRequest:
-		a.handleAssocRequest(raw)
+		a.handleAssocRequest(raw, now)
 	case dot11.KindDisassoc:
 		if d, err := dot11.UnmarshalDisassoc(raw); err == nil {
 			a.Disassociate(d.Header.Addr2)
 			a.stats.Disassociations++
 		}
 	case dot11.KindUDPPortMessage:
-		a.handlePortMessage(raw)
+		a.handlePortMessage(raw, now)
 	case dot11.KindPSPoll:
 		a.handlePSPoll(raw)
 	case dot11.KindData:
@@ -396,7 +442,7 @@ func (a *AP) Receive(raw []byte, rate dot11.Rate, now time.Duration) {
 // handleAssocRequest performs the frame-level association exchange: it
 // allocates (or re-confirms, for retries) the station's AID, seeds the
 // port table from an included Open UDP Ports element, and responds.
-func (a *AP) handleAssocRequest(raw []byte) {
+func (a *AP) handleAssocRequest(raw []byte, now time.Duration) {
 	req, err := dot11.UnmarshalAssocRequest(raw)
 	if err != nil {
 		return
@@ -423,7 +469,7 @@ func (a *AP) handleAssocRequest(raw []byte) {
 	if c != nil {
 		resp.AID = c.aid
 		if a.cfg.HIDE && req.Ports != nil {
-			a.table.Update(c.aid, req.Ports)
+			a.table.UpdateAt(c.aid, req.Ports, now)
 		}
 	}
 	a.stats.AssocResponses++
@@ -434,8 +480,9 @@ func (a *AP) handleAssocRequest(raw []byte) {
 	a.med.Transmit(a.cfg.BSSID, out, a.cfg.BeaconRate)
 }
 
-// handlePortMessage updates the port table and ACKs the sender.
-func (a *AP) handlePortMessage(raw []byte) {
+// handlePortMessage updates the port table and ACKs the sender. The
+// arrival time stamps the entry's TTL clock.
+func (a *AP) handlePortMessage(raw []byte, now time.Duration) {
 	msg, err := dot11.UnmarshalUDPPortMessage(raw)
 	if err != nil {
 		return // malformed frames are dropped silently, like real MACs
@@ -445,7 +492,7 @@ func (a *AP) handlePortMessage(raw []byte) {
 		return // not associated; no state to update, no ACK
 	}
 	if a.cfg.HIDE {
-		a.table.Update(c.aid, msg.Ports)
+		a.table.UpdateAt(c.aid, msg.Ports, now)
 	}
 	a.stats.PortMsgsReceived++
 	ack := &dot11.ACK{RA: c.addr}

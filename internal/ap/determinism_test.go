@@ -82,3 +82,64 @@ func TestBeaconBytesInsensitiveToInsertionOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestBeaconBytesInsensitiveToExpiryOrder extends the shuffle property
+// to the TTL machinery: per-client refresh stamps and an ExpireBefore
+// sweep add a third map (AID → stamp) to the table, and the beacon
+// must stay byte-identical no matter the order stamps were written in
+// — the sweep visits that map in sorted order, and the surviving
+// entries' contribution to Algorithm 1 is order-free.
+func TestBeaconBytesInsensitiveToExpiryOrder(t *testing.T) {
+	const n = 12
+	addrs := make([]dot11.MACAddr, n)
+	for i := range addrs {
+		addrs[i] = dot11.MACAddr{2, 0, 0, 0, 2, byte(i + 1)}
+	}
+	// Odd-indexed clients carry stale stamps and must be swept.
+	stamp := func(i int) time.Duration {
+		if i%2 == 1 {
+			return time.Duration(i) * time.Millisecond
+		}
+		return time.Second + time.Duration(i)*time.Millisecond
+	}
+
+	build := func(perm []int) []byte {
+		eng := sim.New()
+		med := medium.New(eng, dot11.DefaultPHY(), 42)
+		a := New(eng, med, Config{BSSID: bssid, SSID: "ttl", HIDE: true, DTIMPeriod: 1})
+		for _, addr := range addrs {
+			if _, err := a.Associate(addr, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, i := range perm {
+			a.Table().UpdateAt(dot11.AID(i+1), []uint16{uint16(5000 + i), 53}, stamp(i))
+		}
+		if stale := a.Table().ExpireBefore(time.Second); len(stale) != n/2 {
+			t.Fatalf("sweep expired %d clients, want %d", len(stale), n/2)
+		}
+		for i := 0; i < n; i++ {
+			a.EnqueueGroup(dot11.UDPDatagram{DstPort: uint16(5000 + i)}, dot11.Rate1Mbps)
+		}
+		raw, err := a.buildBeacon(100*time.Millisecond, true).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	want := build(base)
+	for trial := 0; trial < 5; trial++ {
+		perm := append([]int(nil), base...)
+		rand.New(rand.NewSource(int64(100+trial))).Shuffle(n, func(i, j int) {
+			perm[i], perm[j] = perm[j], perm[i]
+		})
+		if got := build(perm); !bytes.Equal(got, want) {
+			t.Fatalf("beacon bytes differ for stamp order %v:\n got %x\nwant %x", perm, got, want)
+		}
+	}
+}

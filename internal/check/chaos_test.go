@@ -1,0 +1,76 @@
+package check
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestChaosGrid runs the full default scenario set over a shortened
+// light trace: every invariant and chaos assertion must hold in every
+// cell, and same-seed runs must be bit-identical.
+func TestChaosGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos grid in -short mode")
+	}
+	cfg := ChaosConfig{
+		Traces:   []trace.Scenario{trace.Starbucks},
+		Duration: 45 * time.Second,
+		Seeds:    []uint64{1},
+	}
+	results, err := RunChaosGrid(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunChaosGrid: %v", err)
+	}
+	if want := len(DefaultChaosScenarios()); len(results) != want {
+		t.Fatalf("got %d results, want %d", len(results), want)
+	}
+	if err := ChaosErr(results); err != nil {
+		t.Errorf("%v\n%s", err, ChaosReport(results))
+	}
+}
+
+// TestChaosGridDenseTrace runs the entity-fault scenarios against the
+// denser CS_Dept trace, where crash/restart windows actually contain
+// traffic.
+func TestChaosGridDenseTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos grid in -short mode")
+	}
+	var scens []ChaosScenario
+	for _, sc := range DefaultChaosScenarios() {
+		if sc.CrashVictim || sc.RestartAP {
+			scens = append(scens, sc)
+		}
+	}
+	cfg := ChaosConfig{
+		Scenarios: scens,
+		Traces:    []trace.Scenario{trace.CSDept},
+		Duration:  45 * time.Second,
+		Seeds:     []uint64{1},
+	}
+	results, err := RunChaosGrid(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunChaosGrid: %v", err)
+	}
+	if err := ChaosErr(results); err != nil {
+		t.Errorf("%v\n%s", err, ChaosReport(results))
+	}
+}
+
+// TestChaosReportShape sanity-checks the report renderer.
+func TestChaosReportShape(t *testing.T) {
+	results := []ChaosResult{
+		{Scenario: "bursty-loss", Trace: trace.Starbucks, Seed: 1, WantedSent: 10, WantedGot: 9, Budget: -1},
+		{Scenario: "ack-drops", Trace: trace.CSDept, Seed: 2, Failures: []string{"boom"}},
+	}
+	rep := ChaosReport(results)
+	for _, want := range []string{"bursty-loss", "ack-drops", "FAIL", "boom", "status"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

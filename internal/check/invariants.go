@@ -26,10 +26,12 @@ const (
 	// beacons with group frames actually buffered.
 	RuleTIMBroadcast = "tim-broadcast"
 	// RuleGroupConservation: group frames are conserved at the AP
-	// (enqueued = transmitted + still buffered), checked on every event.
+	// (enqueued = transmitted + still buffered + lost on restart),
+	// checked on every event.
 	RuleGroupConservation = "group-conservation"
 	// RuleUnicastConservation: unicast frames are conserved at the AP
-	// (enqueued = served + filtered + pending), checked on every event.
+	// (enqueued = served + filtered + pending + lost on restart),
+	// checked on every event.
 	RuleUnicastConservation = "unicast-conservation"
 	// RuleTimeline: station suspend/awake transitions alternate with
 	// monotone timestamps, so the intervals are disjoint and cover the
@@ -145,15 +147,15 @@ func (inv *Invariants) record(at time.Duration, rule, detail string) {
 // event.
 func (inv *Invariants) eventHook(now time.Duration) {
 	st := inv.ap.Stats()
-	if pending := inv.ap.BufferedGroupFrames(); st.GroupFramesEnqueued != st.GroupFramesSent+pending {
+	if pending := inv.ap.BufferedGroupFrames(); st.GroupFramesEnqueued != st.GroupFramesSent+pending+st.GroupFramesLost {
 		inv.record(now, RuleGroupConservation,
-			fmt.Sprintf("enqueued %d != sent %d + buffered %d",
-				st.GroupFramesEnqueued, st.GroupFramesSent, pending))
+			fmt.Sprintf("enqueued %d != sent %d + buffered %d + lost %d",
+				st.GroupFramesEnqueued, st.GroupFramesSent, pending, st.GroupFramesLost))
 	}
-	if pending := inv.ap.PendingUnicast(); st.UnicastEnqueued != st.PSPollsServed+st.UnicastFiltered+pending {
+	if pending := inv.ap.PendingUnicast(); st.UnicastEnqueued != st.PSPollsServed+st.UnicastFiltered+pending+st.UnicastFramesLost {
 		inv.record(now, RuleUnicastConservation,
-			fmt.Sprintf("enqueued %d != served %d + filtered %d + pending %d",
-				st.UnicastEnqueued, st.PSPollsServed, st.UnicastFiltered, pending))
+			fmt.Sprintf("enqueued %d != served %d + filtered %d + pending %d + lost %d",
+				st.UnicastEnqueued, st.PSPollsServed, st.UnicastFiltered, pending, st.UnicastFramesLost))
 	}
 }
 

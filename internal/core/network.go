@@ -7,6 +7,7 @@ import (
 	"repro/internal/ap"
 	"repro/internal/dot11"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/medium"
 	"repro/internal/sim"
 	"repro/internal/station"
@@ -26,6 +27,10 @@ type Network struct {
 	SSID    string
 	entries []netEntry
 	monitor *Monitor
+
+	seed        uint64
+	harden      bool
+	portRefresh time.Duration // station-side TTL refresh cadence when hardened
 }
 
 // netEntry pairs a station with its configuration.
@@ -48,9 +53,21 @@ type NetworkConfig struct {
 	// (paper §I): unicast UDP frames to a HIDE client's closed ports
 	// are dropped at the AP.
 	FilterUnicast bool
-	// Loss is the medium's per-delivery loss probability.
+	// Loss is the medium's independent per-delivery loss probability.
 	Loss float64
-	// Seed drives the medium's loss RNG.
+	// Fault installs a composable fault plan on the medium, consulted
+	// once per delivery (after the Loss knob, when both are set). Nil
+	// leaves the channel pristine — byte-identical to fault-free
+	// builds.
+	Fault fault.Plan
+	// Harden enables the protocol hardening the fault subsystem
+	// motivates: the AP expires Client UDP Port Table entries after a
+	// TTL of 8 DTIM periods, stations refresh their entries every 3
+	// DTIM periods and arm the missed-beacon fail-safe. Off, the
+	// protocol behaves exactly as the paper describes (and as the
+	// golden figures record).
+	Harden bool
+	// Seed drives the medium's fault RNG and the stations' jitter RNGs.
 	Seed uint64
 }
 
@@ -66,6 +83,33 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 			return nil, err
 		}
 	}
+	if cfg.Fault != nil {
+		plan := cfg.Fault
+		if cfg.Loss > 0 {
+			plan = fault.Compose(fault.Loss{P: cfg.Loss}, plan)
+		}
+		med.SetFaultPlan(plan)
+	}
+
+	// Hardening cadences derive from the DTIM span: stations refresh
+	// their port-table entries every 3 DTIM periods and the AP expires
+	// entries not refreshed within 8 — room for two whole refresh
+	// rounds (each with its own retry budget) to be lost before a live
+	// client's entry can age out.
+	interval := cfg.BeaconInterval
+	if interval <= 0 {
+		interval = dot11.DefaultBeaconInterval
+	}
+	dtimPeriod := cfg.DTIMPeriod
+	if dtimPeriod <= 0 {
+		dtimPeriod = 3
+	}
+	dtimSpan := interval * time.Duration(dtimPeriod)
+	var portTTL time.Duration
+	if cfg.Harden {
+		portTTL = 8 * dtimSpan
+	}
+
 	bssid := dot11.MACAddr{0x02, 0x1d, 0xe0, 0x00, 0x00, 0x01}
 	a := ap.New(eng, med, ap.Config{
 		BSSID:          bssid,
@@ -74,8 +118,12 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		DTIMPeriod:     cfg.DTIMPeriod,
 		HIDE:           cfg.HIDE,
 		FilterUnicast:  cfg.FilterUnicast,
+		PortTTL:        portTTL,
 	})
-	return &Network{Engine: eng, Medium: med, AP: a, BSSID: bssid, SSID: cfg.SSID}, nil
+	return &Network{
+		Engine: eng, Medium: med, AP: a, BSSID: bssid, SSID: cfg.SSID,
+		seed: cfg.Seed, harden: cfg.Harden, portRefresh: 3 * dtimSpan,
+	}, nil
 }
 
 // AddStation creates and attaches a station with the given open ports
@@ -147,12 +195,18 @@ func (n *Network) AddStationListenInterval(mode station.Mode, openPorts []uint16
 		return nil, fmt.Errorf("core: association space exhausted")
 	}
 	addr := dot11.MACAddr{0x02, 0x1d, 0xe0, 0x01, byte(idx >> 8), byte(idx)}
-	st := station.New(n.Engine, n.Medium, station.Config{
+	scfg := station.Config{
 		Addr:           addr,
 		BSSID:          n.BSSID,
 		Mode:           mode,
 		ListenInterval: li,
-	})
+		Seed:           n.seed,
+	}
+	if n.harden {
+		scfg.PortRefresh = n.portRefresh
+		scfg.MissedBeaconFailSafe = true
+	}
+	st := station.New(n.Engine, n.Medium, scfg)
 	for _, p := range openPorts {
 		st.OpenPort(p)
 	}

@@ -103,6 +103,9 @@ func (n *Network) ReplayRealtime(ctx context.Context, tr *trace.Trace, speed flo
 	// minSleep bounds timer churn: virtual gaps shorter than this (in
 	// wall time) dispatch immediately.
 	const minSleep = 200 * time.Microsecond
+	// Liveness sweeps reap crashed taps once per virtual second.
+	const pingEvery = time.Second
+	nextPing := pingEvery
 	for {
 		select {
 		case <-ctx.Done():
@@ -111,6 +114,12 @@ func (n *Network) ReplayRealtime(ctx context.Context, tr *trace.Trace, speed flo
 		}
 		if n.monitor != nil {
 			n.monitor.drainInto(n)
+			if now := n.Engine.Now(); now >= nextPing {
+				n.monitor.Server.PingTaps()
+				for nextPing <= now {
+					nextPing += pingEvery
+				}
+			}
 		}
 		next, ok := n.Engine.NextEventAt()
 		if !ok || next > end {

@@ -17,7 +17,9 @@ var Determinism = &Analyzer{
 	Doc: "forbid time.Now/time.Since/time.Until, the global math/rand source, and " +
 		"order-sensitive map iteration (appending without a later sort, printing, or " +
 		"returning a value mid-iteration) outside the real-time allowlist " +
-		"(internal/sim/realtime.go, internal/porttable/measure.go, internal/cli)",
+		"(internal/sim/realtime.go, internal/porttable/measure.go, internal/cli); " +
+		"in seeded-RNG-only packages (internal/fault) every math/rand call is banned, " +
+		"including private rand.New/rand.NewSource",
 	Run: runDeterminism,
 }
 
@@ -37,6 +39,12 @@ var bannedClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true
 // fine; everything else package-level in math/rand draws from the
 // shared global source.
 var allowedRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// seededRNGOnly marks packages whose API threads a sim.RNG through
+// every randomized code path (fault.Plan.Deliver). There even a
+// private rand.New/rand.NewSource is banned: a second generator would
+// split the draw stream and break same-seed reproducibility.
+var seededRNGOnly = map[string]bool{"internal/fault": true}
 
 func runDeterminism(p *Pass) error {
 	if p.RelPath() == "internal/cli" {
@@ -91,6 +99,10 @@ func checkBannedCall(p *Pass, call *ast.CallExpr) {
 			p.Reportf(call.Pos(), "time.%s reads the wall clock in deterministic code; use the simulation clock", fn.Name())
 		}
 	case "math/rand", "math/rand/v2":
+		if seededRNGOnly[p.RelPath()] {
+			p.Reportf(call.Pos(), "%s.%s in a seeded-RNG-only package; all randomness must flow from the sim.RNG passed to Deliver", fn.Pkg().Path(), fn.Name())
+			return
+		}
 		if !allowedRandFuncs[fn.Name()] {
 			p.Reportf(call.Pos(), "%s.%s draws from the shared global source; use a seeded *rand.Rand (rand.New)", fn.Pkg().Path(), fn.Name())
 		}

@@ -122,6 +122,20 @@ func TestDeterminismAllowlist(t *testing.T) {
 	}
 }
 
+func TestDeterminismSeededRNGOnly(t *testing.T) {
+	checkFixture(t, Determinism, "faultrng", "repro/internal/fault")
+}
+
+// TestDeterminismSeededRNGOnlyScoped re-analyzes the fault fixture
+// under an ordinary deterministic path, where the private-source
+// constructors are allowed and only the global draw is reported.
+func TestDeterminismSeededRNGOnlyScoped(t *testing.T) {
+	diags := loadFixture(t, Determinism, "faultrng", "repro/internal/medium")
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "shared global source") {
+		t.Errorf("out-of-scope run got %v, want only the global-source draw", diags)
+	}
+}
+
 func TestCtxFirstFixture(t *testing.T) {
 	checkFixture(t, CtxFirst, "ctxfirst", "repro/internal/core")
 }

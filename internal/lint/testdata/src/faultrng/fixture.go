@@ -1,0 +1,22 @@
+// Package fixture exercises the seeded-RNG-only tightening: analyzed
+// as repro/internal/fault, even the normally-allowed private source
+// constructors (rand.New, rand.NewSource) are banned, because a second
+// generator beside the sim.RNG threaded through Deliver would split
+// the draw stream. Re-analyzed under an ordinary deterministic path,
+// the same code must report only the shared-global-source draw.
+package fixture
+
+import "math/rand"
+
+// PrivateSource builds a private generator — fine in ordinary
+// deterministic code, banned in a seeded-RNG-only package.
+func PrivateSource() float64 {
+	src := rand.NewSource(7) // want `math/rand.NewSource in a seeded-RNG-only package`
+	r := rand.New(src)       // want `math/rand.New in a seeded-RNG-only package`
+	return r.Float64()
+}
+
+// GlobalDraw draws from the shared source — banned everywhere.
+func GlobalDraw() float64 {
+	return rand.Float64() // want `math/rand.Float64 in a seeded-RNG-only package`
+}

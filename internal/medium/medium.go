@@ -2,8 +2,9 @@
 // transmitted by attached nodes are serialized (a simple FIFO
 // approximation of CSMA/CA), take their real airtime at the chosen PHY
 // rate, and are delivered to the addressed node — or to every other
-// node for group-addressed frames. Optional random loss exercises
-// retransmission paths.
+// node for group-addressed frames. An optional fault.Plan perturbs
+// deliveries (loss, bursty loss, corruption, duplication) to exercise
+// retransmission and fail-safe paths.
 //
 // The medium runs on a sim.Engine virtual clock, so whole days of
 // channel time simulate in milliseconds and runs are deterministic.
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/dot11"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -44,7 +46,7 @@ type Medium struct {
 	nodes     map[dot11.MACAddr]Node
 	order     []dot11.MACAddr // deterministic broadcast delivery order
 	busyUntil time.Duration
-	lossProb  float64
+	plan      fault.Plan
 	rng       *sim.RNG
 
 	// Stats counts medium activity.
@@ -58,6 +60,8 @@ type Stats struct {
 	Transmissions int
 	Deliveries    int
 	Losses        int
+	Corruptions   int
+	Duplicates    int
 	AirtimeBusy   time.Duration
 }
 
@@ -71,14 +75,26 @@ func New(eng *sim.Engine, phy dot11.PHY, seed uint64) *Medium {
 	}
 }
 
-// SetLoss sets the independent per-delivery loss probability.
+// SetLoss sets the independent per-delivery loss probability — the
+// historical knob, retained as sugar for SetFaultPlan(fault.Loss{P: p}).
+// A zero probability restores the pristine channel.
 func (m *Medium) SetLoss(p float64) error {
 	if p < 0 || p >= 1 {
 		return fmt.Errorf("medium: loss probability %v outside [0, 1)", p)
 	}
-	m.lossProb = p
+	if p == 0 {
+		m.plan = nil
+	} else {
+		m.plan = fault.Loss{P: p}
+	}
 	return nil
 }
+
+// SetFaultPlan installs the fault plan consulted once per (frame,
+// receiver) delivery; nil restores the pristine channel. A nil plan
+// consumes no randomness, so fault-free runs stay byte-identical to
+// builds that predate the fault subsystem.
+func (m *Medium) SetFaultPlan(p fault.Plan) { m.plan = p }
 
 // SetTap installs a monitor callback invoked for every transmission at
 // its start-of-airtime instant, regardless of addressing — the
@@ -145,22 +161,43 @@ func (m *Medium) deliver(src dot11.MACAddr, raw []byte, rate dot11.Rate, now tim
 			if addr == src {
 				continue
 			}
-			m.deliverOne(addr, raw, rate, now)
+			m.deliverOne(addr, src, dst, raw, rate, now)
 		}
 		return
 	}
-	m.deliverOne(dst, raw, rate, now)
+	m.deliverOne(dst, src, dst, raw, rate, now)
 }
 
-// deliverOne hands the frame to one node, applying loss.
-func (m *Medium) deliverOne(addr dot11.MACAddr, raw []byte, rate dot11.Rate, now time.Duration) {
-	n, ok := m.nodes[addr]
+// deliverOne hands the frame to one node, applying the fault plan's
+// verdict for this (frame, receiver) pair.
+func (m *Medium) deliverOne(rcv, src, dst dot11.MACAddr, raw []byte, rate dot11.Rate, now time.Duration) {
+	n, ok := m.nodes[rcv]
 	if !ok {
 		return
 	}
-	if m.lossProb > 0 && m.rng.Float64() < m.lossProb {
-		m.Stats.Losses++
-		return
+	if m.plan != nil {
+		v := m.plan.Deliver(fault.Delivery{
+			Raw: raw, Kind: dot11.Classify(raw),
+			Src: src, Dst: dst, Rcv: rcv, At: now,
+		}, m.rng)
+		if v.Drop {
+			m.Stats.Losses++
+			return
+		}
+		if v.Corrupt {
+			// Corruption garbles this receiver's copy only; other
+			// receivers of a group frame keep the original bytes, as
+			// with independent radios on a shared channel.
+			c := append([]byte(nil), raw...)
+			c[m.rng.Intn(len(c))] ^= 0xff
+			raw = c
+			m.Stats.Corruptions++
+		}
+		if v.Duplicate {
+			m.Stats.Duplicates++
+			m.Stats.Deliveries++
+			n.Receive(raw, rate, now)
+		}
 	}
 	m.Stats.Deliveries++
 	n.Receive(raw, rate, now)

@@ -1,0 +1,38 @@
+package netmedium
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/dot11"
+)
+
+// FuzzMessageCodec fuzzes both codec directions: arbitrary datagrams
+// must never panic Unmarshal, and anything that decodes must re-encode
+// to the identical datagram (the codec is canonical).
+func FuzzMessageCodec(f *testing.F) {
+	seed, err := Message{Type: MsgFrame, At: time.Second, Rate: dot11.Rate11Mbps, Payload: []byte{1, 2, 3}}.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, headerLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if len(m.Payload) > maxFrameLen {
+			t.Fatalf("Unmarshal accepted %d-byte payload", len(m.Payload))
+		}
+		out, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("re-encoding a decoded message failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("codec not canonical:\n in %x\nout %x", data, out)
+		}
+	})
+}

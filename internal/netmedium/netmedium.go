@@ -100,6 +100,9 @@ func Unmarshal(b []byte) (Message, error) {
 	m.At = time.Duration(binary.LittleEndian.Uint64(b[4:12]))
 	m.Rate = dot11.Rate(math.Float64frombits(binary.LittleEndian.Uint64(b[12:20])))
 	n := int(binary.LittleEndian.Uint16(b[20:22]))
+	if n > maxFrameLen {
+		return m, fmt.Errorf("%w: declared %d payload bytes exceeds %d", ErrBadMessage, n, maxFrameLen)
+	}
 	if len(b) != headerLen+n {
 		return m, fmt.Errorf("%w: declared %d payload bytes, have %d", ErrBadMessage, n, len(b)-headerLen)
 	}
@@ -138,6 +141,22 @@ type Stats struct {
 	FramesSent  int
 	Injects     int
 	BadPackets  int
+	PingsSent   int
+	// Evictions counts subscribers reaped by the liveness sweep after
+	// maxMissedPings consecutive unanswered pings.
+	Evictions int
+}
+
+// maxMissedPings is how many consecutive PingTaps sweeps a subscriber
+// may leave unanswered before it is evicted. A tap that crashed
+// without unsubscribing would otherwise receive every published frame
+// forever.
+const maxMissedPings = 3
+
+// subscriber is one tap with its liveness state.
+type subscriber struct {
+	addr   net.Addr
+	missed int // consecutive unanswered pings
 }
 
 // Server relays monitor frames to taps and inject requests into the
@@ -148,7 +167,7 @@ type Server struct {
 	inject func(InjectRequest)
 
 	mu    sync.Mutex
-	subs  map[string]net.Addr
+	subs  map[string]*subscriber
 	stats Stats
 }
 
@@ -156,7 +175,7 @@ type Server struct {
 // Serve goroutine) for every valid inject request; nil disables
 // injection.
 func NewServer(pc net.PacketConn, inject func(InjectRequest)) *Server {
-	return &Server{pc: pc, inject: inject, subs: make(map[string]net.Addr)}
+	return &Server{pc: pc, inject: inject, subs: make(map[string]*subscriber)}
 }
 
 // Addr returns the server's listen address.
@@ -190,7 +209,7 @@ func (s *Server) Serve() error {
 		switch m.Type {
 		case MsgSubscribe:
 			s.mu.Lock()
-			s.subs[from.String()] = from
+			s.subs[from.String()] = &subscriber{addr: from}
 			s.mu.Unlock()
 		case MsgUnsubscribe:
 			s.mu.Lock()
@@ -206,22 +225,65 @@ func (s *Server) Serve() error {
 			}
 			s.mu.Lock()
 			s.stats.Injects++
+			s.touch(from)
 			inject := s.inject
 			s.mu.Unlock()
 			if inject != nil {
 				inject(req)
 			}
 		case MsgPing:
+			s.mu.Lock()
+			s.touch(from)
+			s.mu.Unlock()
 			pong, err := Message{Type: MsgPong}.Marshal()
 			if err == nil {
 				//lint:ignore errdrop best-effort pong; a lost reply looks like a lost packet
 				_, _ = s.pc.WriteTo(pong, from)
 			}
+		case MsgPong:
+			s.mu.Lock()
+			s.touch(from)
+			s.mu.Unlock()
 		default:
 			s.mu.Lock()
 			s.stats.BadPackets++
 			s.mu.Unlock()
 		}
+	}
+}
+
+// touch marks a subscriber alive. Callers hold s.mu.
+func (s *Server) touch(from net.Addr) {
+	if sub, ok := s.subs[from.String()]; ok {
+		sub.missed = 0
+	}
+}
+
+// PingTaps runs one liveness sweep: subscribers that have left
+// maxMissedPings consecutive sweeps unanswered are evicted, the rest
+// are pinged again. Drive it at a steady cadence (ReplayRealtime pings
+// once per virtual second); any message from a tap — a Pong, an
+// Inject, even a fresh Subscribe — resets its counter.
+func (s *Server) PingTaps() {
+	ping, err := Message{Type: MsgPing}.Marshal()
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, sub := range s.subs {
+		if sub.missed >= maxMissedPings {
+			delete(s.subs, key)
+			s.stats.Evictions++
+			continue
+		}
+		sub.missed++
+		if _, err := s.pc.WriteTo(ping, sub.addr); err != nil {
+			delete(s.subs, key)
+			s.stats.Evictions++
+			continue
+		}
+		s.stats.PingsSent++
 	}
 }
 
@@ -240,8 +302,8 @@ func (s *Server) Publish(raw []byte, rate dot11.Rate, at time.Duration) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for key, addr := range s.subs {
-		if _, err := s.pc.WriteTo(msg, addr); err != nil {
+	for key, sub := range s.subs {
+		if _, err := s.pc.WriteTo(msg, sub.addr); err != nil {
 			delete(s.subs, key)
 			continue
 		}
@@ -294,7 +356,19 @@ func (t *Tap) Next(deadline time.Time) (FrameEvent, error) {
 			return FrameEvent{}, err
 		}
 		m, err := Unmarshal(buf[:n])
-		if err != nil || m.Type != MsgFrame {
+		if err != nil {
+			continue
+		}
+		if m.Type == MsgPing {
+			// Answer the server's liveness sweep so the tap is not
+			// evicted while idling between frames.
+			if pong, err := (Message{Type: MsgPong}).Marshal(); err == nil {
+				//lint:ignore errdrop best-effort pong; a missed reply costs one sweep
+				_, _ = t.conn.Write(pong)
+			}
+			continue
+		}
+		if m.Type != MsgFrame {
 			continue
 		}
 		return FrameEvent{At: m.At, Rate: m.Rate, Raw: m.Payload}, nil

@@ -24,9 +24,10 @@ import (
 // ready to use. Table is not safe for concurrent use; the AP owns it
 // from its event loop.
 type Table struct {
-	byPort   map[uint16]map[dot11.AID]struct{}
-	byClient map[dot11.AID][]uint16
-	ops      OpCounts
+	byPort    map[uint16]map[dot11.AID]struct{}
+	byClient  map[dot11.AID][]uint16
+	refreshed map[dot11.AID]time.Duration
+	ops       OpCounts
 }
 
 // OpCounts tallies table operations, feeding the delay model.
@@ -39,8 +40,9 @@ type OpCounts struct {
 // New returns an empty table.
 func New() *Table {
 	return &Table{
-		byPort:   make(map[uint16]map[dot11.AID]struct{}),
-		byClient: make(map[dot11.AID][]uint16),
+		byPort:    make(map[uint16]map[dot11.AID]struct{}),
+		byClient:  make(map[dot11.AID][]uint16),
+		refreshed: make(map[dot11.AID]time.Duration),
 	}
 }
 
@@ -50,13 +52,24 @@ func (t *Table) init() {
 		t.byPort = make(map[uint16]map[dot11.AID]struct{})
 		t.byClient = make(map[dot11.AID][]uint16)
 	}
+	if t.refreshed == nil {
+		t.refreshed = make(map[dot11.AID]time.Duration)
+	}
 }
 
 // Update replaces the port set for a client with the ports from its
 // latest UDP Port Message: the client's old ports are deleted and the
 // new ports inserted, exactly the refresh the paper's Eq. 25 prices.
-// Duplicate ports in the message are collapsed.
+// Duplicate ports in the message are collapsed. The entry carries a
+// zero refresh stamp; use UpdateAt when TTL expiry is in play.
 func (t *Table) Update(aid dot11.AID, ports []uint16) {
+	t.UpdateAt(aid, ports, 0)
+}
+
+// UpdateAt is Update with a refresh timestamp: the entry's TTL clock
+// (see ExpireBefore) restarts at now. The AP stamps the virtual
+// arrival time of the UDP Port Message that carried the refresh.
+func (t *Table) UpdateAt(aid dot11.AID, ports []uint16, now time.Duration) {
 	t.init()
 	for _, p := range t.byClient[aid] {
 		if set := t.byPort[p]; set != nil {
@@ -68,6 +81,7 @@ func (t *Table) Update(aid dot11.AID, ports []uint16) {
 		}
 	}
 	delete(t.byClient, aid)
+	delete(t.refreshed, aid)
 
 	if len(ports) == 0 {
 		return
@@ -89,11 +103,39 @@ func (t *Table) Update(aid dot11.AID, ports []uint16) {
 		t.ops.Inserts++
 	}
 	t.byClient[aid] = uniq
+	t.refreshed[aid] = now
 }
 
 // Remove drops every entry for a client (disassociation).
 func (t *Table) Remove(aid dot11.AID) {
 	t.Update(aid, nil)
+}
+
+// RefreshedAt returns the client's last refresh stamp and whether the
+// client has any entry at all.
+func (t *Table) RefreshedAt(aid dot11.AID) (time.Duration, bool) {
+	at, ok := t.refreshed[aid]
+	return at, ok
+}
+
+// ExpireBefore removes every client whose last refresh is strictly
+// before cutoff and returns their AIDs sorted ascending. This is the
+// TTL sweep the AP runs at beacon cadence: a client that crashed
+// without deregistering stops refreshing, so its stale entries — which
+// would otherwise inflate every other client's wakeups forever — age
+// out after one TTL.
+func (t *Table) ExpireBefore(cutoff time.Duration) []dot11.AID {
+	var stale []dot11.AID
+	for aid, at := range t.refreshed {
+		if at < cutoff {
+			stale = append(stale, aid)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, aid := range stale {
+		t.Remove(aid)
+	}
+	return stale
 }
 
 // Lookup returns the AIDs of clients listening on port, sorted

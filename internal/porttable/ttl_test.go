@@ -1,0 +1,109 @@
+package porttable
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dot11"
+)
+
+func TestUpdateAtStampsRefresh(t *testing.T) {
+	tb := New()
+	tb.UpdateAt(1, []uint16{53}, 5*time.Second)
+	at, ok := tb.RefreshedAt(1)
+	if !ok || at != 5*time.Second {
+		t.Fatalf("RefreshedAt = %v, %v; want 5s, true", at, ok)
+	}
+	// A later refresh restarts the TTL clock.
+	tb.UpdateAt(1, []uint16{53, 5353}, 9*time.Second)
+	if at, _ := tb.RefreshedAt(1); at != 9*time.Second {
+		t.Fatalf("refresh stamp not advanced: %v", at)
+	}
+}
+
+func TestUpdateLeavesZeroStamp(t *testing.T) {
+	tb := New()
+	tb.Update(1, []uint16{53})
+	if at, ok := tb.RefreshedAt(1); !ok || at != 0 {
+		t.Fatalf("RefreshedAt after Update = %v, %v; want 0, true", at, ok)
+	}
+}
+
+func TestExpireBefore(t *testing.T) {
+	tb := New()
+	tb.UpdateAt(3, []uint16{53}, 1*time.Second)
+	tb.UpdateAt(1, []uint16{5353}, 2*time.Second)
+	tb.UpdateAt(2, []uint16{1900}, 3*time.Second)
+
+	stale := tb.ExpireBefore(3 * time.Second) // strict: AID 2 survives
+	if len(stale) != 2 || stale[0] != 1 || stale[1] != 3 {
+		t.Fatalf("ExpireBefore returned %v, want sorted [1 3]", stale)
+	}
+	if tb.Clients() != 1 || !tb.Listening(1900, 2) {
+		t.Error("surviving client lost its entries")
+	}
+	if tb.Listening(53, 3) || tb.Listening(5353, 1) {
+		t.Error("expired clients still listed")
+	}
+	if _, ok := tb.RefreshedAt(1); ok {
+		t.Error("expired client still has a refresh stamp")
+	}
+	if again := tb.ExpireBefore(3 * time.Second); len(again) != 0 {
+		t.Errorf("second sweep expired %v again", again)
+	}
+}
+
+func TestRemoveClearsRefreshStamp(t *testing.T) {
+	tb := New()
+	tb.UpdateAt(1, []uint16{53}, time.Second)
+	tb.Remove(1)
+	if _, ok := tb.RefreshedAt(1); ok {
+		t.Fatal("Remove left the refresh stamp behind")
+	}
+	// A removed client must not resurface in a later TTL sweep.
+	if stale := tb.ExpireBefore(time.Hour); len(stale) != 0 {
+		t.Fatalf("sweep after Remove expired %v", stale)
+	}
+}
+
+func TestEmptyPortMessageClearsStamp(t *testing.T) {
+	tb := New()
+	tb.UpdateAt(1, []uint16{53}, time.Second)
+	tb.UpdateAt(1, nil, 2*time.Second)
+	if _, ok := tb.RefreshedAt(1); ok {
+		t.Fatal("client with no open ports keeps a refresh stamp")
+	}
+}
+
+func TestExpireBeforeZeroValueTable(t *testing.T) {
+	var tb Table
+	if stale := tb.ExpireBefore(time.Hour); len(stale) != 0 {
+		t.Fatalf("zero-value table expired %v", stale)
+	}
+	tb.UpdateAt(1, []uint16{53}, 0)
+	if stale := tb.ExpireBefore(time.Nanosecond); len(stale) != 1 || stale[0] != dot11.AID(1) {
+		t.Fatalf("zero-stamp entry not expired: %v", stale)
+	}
+}
+
+func TestExpiryKeepsReverseMappingConsistent(t *testing.T) {
+	tb := New()
+	for aid := dot11.AID(1); aid <= 8; aid++ {
+		tb.UpdateAt(aid, []uint16{uint16(5000 + aid), 53}, time.Duration(aid)*time.Second)
+	}
+	tb.ExpireBefore(5 * time.Second)
+	// Shared port 53 must now list exactly the survivors.
+	want := []dot11.AID{5, 6, 7, 8}
+	got := tb.Lookup(53)
+	if len(got) != len(want) {
+		t.Fatalf("port 53 lists %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("port 53 lists %v, want %v", got, want)
+		}
+	}
+	if tb.Len() != 2*len(want) {
+		t.Errorf("table holds %d pairs, want %d", tb.Len(), 2*len(want))
+	}
+}

@@ -87,6 +87,26 @@ type Config struct {
 	// AP never losing association state. Skips are counted in
 	// Stats.PortMsgsSkipped.
 	SyncOnlyOnChange bool
+	// PortRefresh re-sends the UDP Port Message when a heard DTIM
+	// beacon finds the last acknowledged sync older than this,
+	// refreshing the AP's TTL'd port-table entry (ap.Config.PortTTL)
+	// from wakeful instants the radio already has. Set it well below
+	// the AP's TTL. Zero disables refresh — the paper's
+	// send-only-before-suspend behaviour.
+	PortRefresh time.Duration
+	// MissedBeaconFailSafe arms the fail-safe for lost BTIM beacons: a
+	// HIDE station that receives a group frame while its beacon is
+	// overdue (the DTIM beacon that would have carried its BTIM bit was
+	// lost) falls back to receiving the burst at DTIM cadence instead
+	// of sleeping through traffic it may have wanted — fail to awake,
+	// never to deaf. Off by default.
+	MissedBeaconFailSafe bool
+	// Seed perturbs the station's private RNG (retry-backoff jitter).
+	// The RNG is folded with the MAC address, so stations sharing a
+	// Config.Seed still jitter independently. Randomness is drawn only
+	// on retransmissions: fault-free runs consume none and stay
+	// byte-identical.
+	Seed uint64
 }
 
 // normalized fills defaults.
@@ -129,6 +149,19 @@ type Stats struct {
 	BeaconsSkipped  int
 	DTIMsSkipped    int
 	PortMsgsSkipped int
+	// PortMsgGivenUp counts suspends entered with the port sync
+	// unacknowledged after the full retry budget — the AP may hold
+	// stale (conservative) information until the next refresh.
+	PortMsgGivenUp int
+	// PortMsgRefreshes counts TTL-refresh port messages triggered by
+	// Config.PortRefresh.
+	PortMsgRefreshes int
+	// FailSafeBursts counts bursts received via the missed-beacon
+	// fail-safe (Config.MissedBeaconFailSafe).
+	FailSafeBursts int
+	// APRestartsSeen counts beacon-timestamp regressions — AP restarts
+	// the station detected and re-registered its ports after.
+	APRestartsSeen int
 }
 
 // Observer receives station lifecycle events. Observers run
@@ -170,6 +203,14 @@ type Station struct {
 	assocTimer   sim.Handle
 	beaconSeq    int
 
+	crashed       bool
+	rng           *sim.RNG
+	lastBeaconAt  time.Duration // last heard beacon (zero until one is heard)
+	beaconGap     time.Duration // learned beacon interval
+	lastTimestamp uint64        // last heard TSF timestamp (restart detection)
+	haveTimestamp bool
+	lastSyncAt    time.Duration // last acknowledged port sync
+
 	arrivals []energy.Arrival
 	stats    Stats
 	obs      Observer
@@ -185,9 +226,20 @@ func New(eng *sim.Engine, med medium.Channel, cfg Config) *Station {
 		eng:   eng,
 		med:   med,
 		ports: make(map[uint16]bool),
+		rng:   sim.NewRNG(cfg.Seed ^ addrSeed(cfg.Addr)),
 	}
 	med.Attach(cfg.Addr, s)
 	return s
+}
+
+// addrSeed folds the MAC address into an RNG seed so stations sharing
+// a Config.Seed still jitter independently.
+func addrSeed(a dot11.MACAddr) uint64 {
+	var s uint64
+	for _, b := range a {
+		s = s<<8 | uint64(b)
+	}
+	return s | 1
 }
 
 // Join records the AID assigned by the AP. The station starts in
@@ -299,6 +351,9 @@ func (s *Station) handleAssocResponse(raw []byte) {
 // AID returns the association ID.
 func (s *Station) AID() dot11.AID { return s.aid }
 
+// Addr returns the station's MAC address.
+func (s *Station) Addr() dot11.MACAddr { return s.cfg.Addr }
+
 // Stats returns the protocol counters.
 func (s *Station) Stats() Stats { return s.stats }
 
@@ -347,8 +402,32 @@ func (s *Station) OpenPorts() []uint16 {
 	return out
 }
 
+// Crash models a client that dies without deregistering: the radio
+// goes silent instantly — no disassociation, no final port message —
+// leaving the AP with stale Client UDP Port Table entries that only a
+// TTL (ap.Config.PortTTL) can clear. The station ignores all traffic
+// from here on; its suspend timeline closes in the suspended state.
+func (s *Station) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	s.listening = false
+	s.awaitingACK = false
+	s.ackTimer.Cancel()
+	s.assocTimer.Cancel()
+	s.suspendEv.Cancel()
+	s.setSuspended(true)
+}
+
+// Crashed reports whether Crash was called.
+func (s *Station) Crashed() bool { return s.crashed }
+
 // Receive implements medium.Node.
 func (s *Station) Receive(raw []byte, rate dot11.Rate, now time.Duration) {
+	if s.crashed {
+		return
+	}
 	switch dot11.Classify(raw) {
 	case dot11.KindAssocResponse:
 		s.handleAssocResponse(raw)
@@ -383,6 +462,7 @@ func (s *Station) handleBeacon(raw []byte, now time.Duration) {
 		return
 	}
 	s.stats.BeaconsHeard++
+	s.observeBeacon(b, now)
 
 	// Group bursts never span beacons: if the end-of-burst frame was
 	// lost (MoreData never cleared), the beacon ends the listen window
@@ -417,6 +497,38 @@ func (s *Station) handleBeacon(raw []byte, now time.Duration) {
 			s.listening = true
 		}
 	}
+
+	// TTL refresh: a heard DTIM beacon is a wakeful instant the radio
+	// already has, so piggyback the port-table refresh on it when the
+	// last acknowledged sync has gone stale.
+	if s.cfg.PortRefresh > 0 && s.cfg.Mode == HIDE && !s.awaitingACK &&
+		now-s.lastSyncAt >= s.cfg.PortRefresh {
+		s.retries = 0
+		s.stats.PortMsgRefreshes++
+		s.sendPortMessage(now)
+	}
+}
+
+// observeBeacon tracks beacon cadence and the AP's TSF timestamp. A
+// timestamp regression means the AP restarted and lost its soft state,
+// so a HIDE station re-registers its open ports instead of trusting a
+// Client UDP Port Table that no longer exists.
+func (s *Station) observeBeacon(b *dot11.Beacon, now time.Duration) {
+	s.lastBeaconAt = now
+	if gap := time.Duration(b.BeaconInterval) * dot11.TU; gap > 0 {
+		s.beaconGap = gap
+	}
+	restarted := s.haveTimestamp && b.Timestamp < s.lastTimestamp
+	s.lastTimestamp = b.Timestamp
+	s.haveTimestamp = true
+	if restarted {
+		s.stats.APRestartsSeen++
+		s.syncedPorts = nil
+		if s.cfg.Mode == HIDE && !s.awaitingACK {
+			s.retries = 0
+			s.sendPortMessage(now)
+		}
+	}
 }
 
 // handleData receives group or unicast data frames.
@@ -434,10 +546,22 @@ func (s *Station) handleData(raw []byte, rate dot11.Rate, now time.Duration) {
 		}
 		return
 	}
-	if !df.Header.Addr1.IsMulticast() || !s.listening {
-		// Radio asleep for this frame (PS mode between beacons), or a
-		// unicast frame for someone else.
+	if !df.Header.Addr1.IsMulticast() {
+		// A unicast frame for someone else.
 		return
+	}
+	if !s.listening {
+		if !s.beaconOverdue(now) {
+			// Radio asleep for this frame (PS mode between beacons).
+			return
+		}
+		// Fail safe: group traffic is flowing but the beacon that
+		// should have announced it never arrived — the DTIM beacon
+		// carrying our BTIM bit was lost. Receive the burst at DTIM
+		// cadence rather than sleep through traffic we may have wanted:
+		// fail to awake, never to deaf.
+		s.listening = true
+		s.stats.FailSafeBursts++
 	}
 	s.stats.GroupReceived++
 	useful := false
@@ -466,6 +590,26 @@ func (s *Station) handleData(raw []byte, rate dot11.Rate, now time.Duration) {
 	if !df.Header.FC.MoreData {
 		s.listening = false
 	}
+}
+
+// beaconOverdue reports whether the beacon a just-arrived group frame
+// rode behind is missing. Group bursts immediately follow a DTIM
+// beacon, so when a group frame arrives, the last heard beacon should
+// be under ListenInterval beacon intervals old; beyond that (minus a
+// quarter-interval margin for burst airtime and channel-busy beacon
+// delays) the announcing beacon was lost. A station that has heard no
+// beacon at all measures from time zero, so losing the very first
+// beacon also fails safe. Used by the MissedBeaconFailSafe hardening.
+func (s *Station) beaconOverdue(now time.Duration) bool {
+	if !s.cfg.MissedBeaconFailSafe || s.cfg.Mode != HIDE {
+		return false
+	}
+	gap := s.beaconGap
+	if gap <= 0 {
+		gap = dot11.DefaultBeaconInterval
+	}
+	window := gap*time.Duration(s.cfg.ListenInterval) - gap/4
+	return now-s.lastBeaconAt > window
 }
 
 // recordArrival logs a radio arrival and drives the suspend machine.
@@ -545,11 +689,34 @@ func (s *Station) sendPortMessage(now time.Duration) {
 	}
 	s.awaitingACK = true
 	s.ackTimer.Cancel()
-	s.ackTimer = s.eng.MustScheduleAfter(s.cfg.AckTimeout, s.ackTimeout)
+	s.ackTimer = s.eng.MustScheduleAfter(s.ackWait(), s.ackTimeout)
 }
 
-// ackTimeout retransmits the port message or gives up and suspends
-// anyway (the AP will simply have stale — conservative — information).
+// maxBackoffShift caps the exponential ACK-timeout backoff at 16× the
+// base timeout.
+const maxBackoffShift = 4
+
+// ackWait returns the ACK timeout for the current attempt: the base
+// timeout on the first try (drawing no randomness, preserving
+// byte-identity for clean runs), then exponential backoff with ±25%
+// jitter from the station's private RNG so retry storms from many
+// stations desynchronize instead of colliding in lockstep.
+func (s *Station) ackWait() time.Duration {
+	if s.retries == 0 {
+		return s.cfg.AckTimeout
+	}
+	shift := s.retries
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	d := s.cfg.AckTimeout << uint(shift)
+	jitter := time.Duration((s.rng.Float64() - 0.5) * 0.5 * float64(d))
+	return d + jitter
+}
+
+// ackTimeout retransmits the port message with backoff, or exhausts
+// the retry budget, gives up, and suspends anyway (the AP will simply
+// have stale — conservative — information until the next refresh).
 func (s *Station) ackTimeout(now time.Duration) {
 	if !s.awaitingACK {
 		return
@@ -557,7 +724,10 @@ func (s *Station) ackTimeout(now time.Duration) {
 	s.retries++
 	if s.retries > s.cfg.MaxRetries {
 		s.awaitingACK = false
-		s.completeSuspend()
+		s.stats.PortMsgGivenUp++
+		if now >= s.wlExpiry && !s.listening {
+			s.completeSuspend()
+		}
 		return
 	}
 	s.sendPortMessage(now)
@@ -572,6 +742,7 @@ func (s *Station) handleACK(now time.Duration) {
 	s.ackTimer.Cancel()
 	s.stats.ACKsReceived++
 	s.syncedPorts = append([]uint16(nil), s.lastPortMsg...)
+	s.lastSyncAt = now
 	if now >= s.wlExpiry && !s.listening {
 		s.completeSuspend()
 	}
