@@ -159,6 +159,28 @@ type AP struct {
 	stats   Stats
 	obs     Observer
 	flagFn  func(bufferedPorts []uint16, table *porttable.Table) *dot11.VirtualBitmap
+
+	tickFn sim.Event // bound beaconTick; reused across reschedules
+	dirty  bool      // beacon-relevant state changed since last rebuild
+	cache  beaconCache
+}
+
+// beaconCache holds the last fully built beacon. While no
+// beacon-relevant state changes (no station add/remove, no buffered
+// unicast/broadcast change, no port-table mutation), consecutive
+// beacons differ only in sequence number, TSF timestamp, DTIM count,
+// and the TIM broadcast bit — all fixed-offset fields patched in place,
+// so idle DTIMs reuse the encoded bytes verbatim with zero allocations.
+type beaconCache struct {
+	valid    bool
+	tableGen uint64 // porttable.Table.Gen at rebuild time
+	raw      []byte // marshalled frame, patched between rebuilds
+	beacon   dot11.Beacon
+	tim      dot11.TIM
+	btim     dot11.BTIM
+	btimCost int // BTIMBytesSent increment per beacon (PartialBitmap + 3)
+	timOff   int // offset of the TIM element body in raw
+	ctlBase  byte
 }
 
 var _ medium.Node = (*AP)(nil)
@@ -174,7 +196,9 @@ func New(eng *sim.Engine, med medium.Channel, cfg Config) *AP {
 		clients: make(map[dot11.MACAddr]*client),
 		byAID:   make(map[dot11.AID]*client),
 		nextAID: 1,
+		dirty:   true,
 	}
+	a.tickFn = a.beaconTick
 	med.Attach(cfg.BSSID, a)
 	return a
 }
@@ -193,6 +217,7 @@ func (a *AP) SetObserver(o Observer) { a.obs = o }
 // oracle and the BTIM invariant. A nil fn restores Algorithm 1.
 func (a *AP) SetFlagComputer(fn func(bufferedPorts []uint16, table *porttable.Table) *dot11.VirtualBitmap) {
 	a.flagFn = fn
+	a.dirty = true
 }
 
 // Table exposes the Client UDP Port Table (read-mostly; used by tests
@@ -212,6 +237,7 @@ func (a *AP) Associate(addr dot11.MACAddr, hideCapable bool) (dot11.AID, error) 
 	a.nextAID++
 	a.clients[addr] = c
 	a.byAID[c.aid] = c
+	a.dirty = true
 	return c.aid, nil
 }
 
@@ -224,13 +250,14 @@ func (a *AP) Disassociate(addr dot11.MACAddr) {
 	a.table.Remove(c.aid)
 	delete(a.byAID, c.aid)
 	delete(a.clients, addr)
+	a.dirty = true
 }
 
 // Start schedules the beacon loop. The first beacon goes out one
 // beacon interval after the current virtual time.
 func (a *AP) Start() {
 	a.dtim = 0 // first beacon is a DTIM
-	a.eng.MustScheduleAfter(a.cfg.BeaconInterval, a.beaconTick)
+	a.eng.MustScheduleAfter(a.cfg.BeaconInterval, a.tickFn)
 }
 
 // EnqueueGroup accepts a group-addressed (broadcast) UDP datagram from
@@ -243,6 +270,7 @@ func (a *AP) EnqueueGroup(d dot11.UDPDatagram, rate dot11.Rate) {
 		payload: body, rate: rate, dstPort: d.DstPort, ok: true,
 	})
 	a.stats.GroupFramesEnqueued++
+	a.dirty = true
 }
 
 // EnqueueUnicast buffers a unicast data frame for a PS-mode client;
@@ -268,6 +296,7 @@ func (a *AP) EnqueueUnicast(dst dot11.MACAddr, d dot11.UDPDatagram, rate dot11.R
 		Payload: dot11.EncapsulateUDP(d),
 	}
 	c.unicast = append(c.unicast, frame.Marshal())
+	a.dirty = true
 	return nil
 }
 
@@ -291,6 +320,7 @@ func (a *AP) Restart() {
 	}
 	a.dtim = 0
 	a.stats.Restarts++
+	a.dirty = true
 }
 
 // beaconTick emits one beacon and, on DTIMs, flushes group traffic.
@@ -301,7 +331,7 @@ func (a *AP) beaconTick(now time.Duration) {
 		a.stats.PortEntriesExpired += len(a.table.ExpireBefore(now - a.cfg.PortTTL))
 	}
 	isDTIM := a.dtim == 0
-	beacon := a.buildBeacon(now, isDTIM)
+	beacon, raw := a.encodeBeacon(now, isDTIM)
 	if a.obs != nil {
 		ports, unparsed := a.bufferedPorts()
 		a.obs.BeaconBuilt(now, BeaconView{
@@ -310,11 +340,6 @@ func (a *AP) beaconTick(now time.Duration) {
 			BufferedPorts:    ports,
 			UnparsedBuffered: unparsed,
 		})
-	}
-	raw, err := beacon.Marshal()
-	if err != nil {
-		// Beacon construction is fully under AP control; failure is a bug.
-		panic(fmt.Sprintf("ap: beacon marshal: %v", err))
 	}
 	a.med.Transmit(a.cfg.BSSID, raw, a.cfg.BeaconRate)
 	a.stats.BeaconsSent++
@@ -325,11 +350,32 @@ func (a *AP) beaconTick(now time.Duration) {
 	} else {
 		a.dtim--
 	}
-	a.eng.MustScheduleAfter(a.cfg.BeaconInterval, a.beaconTick)
+	a.eng.MustScheduleAfter(a.cfg.BeaconInterval, a.tickFn)
 }
 
-// buildBeacon assembles the beacon with TIM and (for HIDE APs) BTIM.
-func (a *AP) buildBeacon(now time.Duration, isDTIM bool) *dot11.Beacon {
+// encodeBeacon returns the beacon for this tick, rebuilding from
+// scratch when beacon-relevant state changed and otherwise patching the
+// cached bytes in place. The medium copies the frame at Transmit, so
+// handing out the cache's buffer is safe.
+func (a *AP) encodeBeacon(now time.Duration, isDTIM bool) (*dot11.Beacon, []byte) {
+	bc := &a.cache
+	if !bc.valid || a.dirty || a.flagFn != nil || a.table.Gen() != bc.tableGen {
+		a.rebuildBeacon(now, isDTIM)
+	} else {
+		a.patchBeacon(now, isDTIM)
+	}
+	if a.cfg.HIDE {
+		a.stats.BTIMBytesSent += bc.btimCost
+	}
+	return &bc.beacon, bc.raw
+}
+
+// rebuildBeacon assembles the beacon with TIM and (for HIDE APs) BTIM
+// from current state and refreshes the cache: encoded bytes, the
+// element offsets the patch path writes to, and the generation stamps
+// that gate reuse.
+func (a *AP) rebuildBeacon(now time.Duration, isDTIM bool) {
+	bc := &a.cache
 	// TIM: unicast bits for clients with buffered frames; broadcast bit
 	// on DTIM beacons when group frames are buffered.
 	var ub dot11.VirtualBitmap
@@ -339,7 +385,7 @@ func (a *AP) buildBeacon(now time.Duration, isDTIM bool) *dot11.Beacon {
 		}
 	}
 	off, pm := ub.Compress()
-	tim := &dot11.TIM{
+	bc.tim = dot11.TIM{
 		DTIMCount:     uint8(a.dtim),
 		DTIMPeriod:    uint8(a.cfg.DTIMPeriod),
 		Broadcast:     isDTIM && len(a.group) > 0,
@@ -347,7 +393,7 @@ func (a *AP) buildBeacon(now time.Duration, isDTIM bool) *dot11.Beacon {
 		PartialBitmap: pm,
 	}
 
-	b := &dot11.Beacon{
+	bc.beacon = dot11.Beacon{
 		Header: dot11.MACHeader{
 			Addr1: dot11.Broadcast, Addr2: a.cfg.BSSID, Addr3: a.cfg.BSSID,
 			Seq: a.nextSeq(),
@@ -355,19 +401,75 @@ func (a *AP) buildBeacon(now time.Duration, isDTIM bool) *dot11.Beacon {
 		Timestamp:      uint64((now - a.bootAt) / time.Microsecond),
 		BeaconInterval: uint16(a.cfg.BeaconInterval / dot11.TU),
 		SSID:           a.cfg.SSID,
-		TIM:            tim,
+		TIM:            &bc.tim,
 	}
+	bc.btimCost = 0
 	if a.cfg.HIDE {
-		btim := dot11.BTIMFromBitmap(a.broadcastFlags())
-		b.BTIM = &btim
-		a.stats.BTIMBytesSent += len(btim.PartialBitmap) + 3
+		bc.btim = dot11.BTIMFromBitmap(a.broadcastFlags())
+		bc.beacon.BTIM = &bc.btim
+		bc.btimCost = len(bc.btim.PartialBitmap) + 3
 	}
-	return b
+	raw, err := bc.beacon.Marshal()
+	if err != nil {
+		// Beacon construction is fully under AP control; failure is a bug.
+		panic(fmt.Sprintf("ap: beacon marshal: %v", err))
+	}
+	bc.raw = raw
+	bc.timOff = findTIMBody(raw)
+	bc.ctlBase = raw[bc.timOff+2] &^ 0x01
+	bc.tableGen = a.table.Gen()
+	// A custom flag computer may be stateful (fault injection), so its
+	// output cannot be cached.
+	bc.valid = a.flagFn == nil
+	a.dirty = false
+}
+
+// findTIMBody returns the offset of the TIM element body in a
+// marshalled beacon. The TIM is always present in AP-built beacons.
+func findTIMBody(raw []byte) int {
+	p := dot11.MACHeaderLen + 12 // fixed fields: timestamp + interval + capability
+	for p+2 <= len(raw) {
+		if raw[p] == dot11.ElementIDTIM {
+			return p + 2
+		}
+		p += 2 + int(raw[p+1])
+	}
+	panic("ap: marshalled beacon without TIM element")
+}
+
+// patchBeacon reuses the cached beacon bytes, rewriting only the fields
+// that legitimately change between beacons with untouched state: the
+// sequence number, the TSF timestamp, the TIM's DTIM count, and the TIM
+// broadcast bit. Everything else is bit-identical to a from-scratch
+// rebuild (the cache-invalidation tests assert exactly that), and this
+// path performs zero allocations.
+func (a *AP) patchBeacon(now time.Duration, isDTIM bool) {
+	bc := &a.cache
+	raw := bc.raw
+	seq := a.nextSeq()
+	raw[22] = byte(seq)
+	raw[23] = byte(seq >> 8)
+	ts := uint64((now - a.bootAt) / time.Microsecond)
+	for i := 0; i < 8; i++ {
+		raw[dot11.MACHeaderLen+i] = byte(ts >> (8 * i))
+	}
+	raw[bc.timOff] = uint8(a.dtim)
+	bcast := isDTIM && len(a.group) > 0
+	ctl := bc.ctlBase
+	if bcast {
+		ctl |= 0x01
+	}
+	raw[bc.timOff+2] = ctl
+	// Keep the struct view (what observers see) in sync with the bytes.
+	bc.beacon.Header.Seq = seq
+	bc.beacon.Timestamp = ts
+	bc.tim.DTIMCount = uint8(a.dtim)
+	bc.tim.Broadcast = bcast
 }
 
 // broadcastFlags runs Algorithm 1: for every buffered group frame,
-// look up the destination UDP port in the Client UDP Port Table and
-// set the flag of every client listening on it.
+// fold the port's precomputed listener bitmap (the Client UDP Port
+// Table's reverse index) into the flag set.
 func (a *AP) broadcastFlags() *dot11.VirtualBitmap {
 	if a.flagFn != nil {
 		ports, _ := a.bufferedPorts()
@@ -378,9 +480,7 @@ func (a *AP) broadcastFlags() *dot11.VirtualBitmap {
 		if !g.ok {
 			continue
 		}
-		for _, aid := range a.table.Lookup(g.dstPort) {
-			flags.Set(aid)
-		}
+		a.table.OrListeners(g.dstPort, &flags)
 	}
 	return &flags
 }
@@ -401,6 +501,9 @@ func (a *AP) bufferedPorts() (ports []uint16, unparsed int) {
 // flushGroup transmits all buffered group frames after a DTIM beacon,
 // setting the MoreData bit on all but the last.
 func (a *AP) flushGroup() {
+	if len(a.group) > 0 {
+		a.dirty = true // broadcast buffer drains; BTIM and broadcast bit change
+	}
 	for i, g := range a.group {
 		frame := &dot11.DataFrame{
 			Header: dot11.MACHeader{
@@ -513,6 +616,7 @@ func (a *AP) handlePSPoll(raw []byte) {
 	}
 	frame := c.unicast[0]
 	c.unicast = c.unicast[1:]
+	a.dirty = true // TIM unicast bit may clear
 	if len(c.unicast) > 0 {
 		// Patch the MoreData bit in the stored raw frame.
 		fc := dot11.UnmarshalFrameControl([2]byte{frame[0], frame[1]})

@@ -60,11 +60,8 @@ func TestBeaconBytesInsensitiveToInsertionOrder(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		raw, err := a.buildBeacon(100*time.Millisecond, true).Marshal()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return raw
+		_, raw := a.encodeBeacon(100*time.Millisecond, true)
+		return append([]byte(nil), raw...)
 	}
 
 	base := make([]int, n)
@@ -121,11 +118,8 @@ func TestBeaconBytesInsensitiveToExpiryOrder(t *testing.T) {
 		for i := 0; i < n; i++ {
 			a.EnqueueGroup(dot11.UDPDatagram{DstPort: uint16(5000 + i)}, dot11.Rate1Mbps)
 		}
-		raw, err := a.buildBeacon(100*time.Millisecond, true).Marshal()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return raw
+		_, raw := a.encodeBeacon(100*time.Millisecond, true)
+		return append([]byte(nil), raw...)
 	}
 
 	base := make([]int, n)

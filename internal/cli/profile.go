@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags registers the -cpuprofile and -memprofile flags on the
+// default flag set and returns the bound values. Both default to off
+// (empty path).
+func ProfileFlags() (cpu, mem *string) {
+	cpu = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	mem = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	return cpu, mem
+}
+
+// StartProfiles begins CPU profiling when cpu is non-empty and returns
+// a stop function that finishes the CPU profile and, when mem is
+// non-empty, writes a heap profile. Callers must invoke stop on every
+// exit path that should produce profiles (defer works for normal
+// returns; os.Exit paths need an explicit call first).
+func StartProfiles(prog, cpu, mem string) (stop func()) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			Exit(prog, fmt.Errorf("cpu profile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			Exit(prog, fmt.Errorf("cpu profile: %w", err))
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				Exit(prog, fmt.Errorf("cpu profile: %w", err))
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				Exit(prog, fmt.Errorf("heap profile: %w", err))
+			}
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				Exit(prog, fmt.Errorf("heap profile: %w", err))
+			}
+			if err := f.Close(); err != nil {
+				Exit(prog, fmt.Errorf("heap profile: %w", err))
+			}
+		}
+	}
+}

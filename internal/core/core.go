@@ -25,6 +25,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/energy"
@@ -32,6 +33,20 @@ import (
 	"repro/internal/policy"
 	"repro/internal/trace"
 )
+
+// evalScratch is the per-worker scratch an evaluation cell needs: the
+// usefulness vector and the arrival buffer. Cells take one from
+// scratchPool and return it, so a suite run reuses a few buffers across
+// its dozens of cells instead of allocating (and zeroing) fresh slices
+// per cell. Nothing downstream retains either slice: policies write
+// arrivals, energy.Compute reads them, and only the scalar Breakdown
+// survives.
+type evalScratch struct {
+	useful   []bool
+	arrivals []energy.Arrival
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
 
 // clientSideSweep is the candidate driver-wakelock set for the
 // client-side lower bound. The final candidate equals τ, i.e. the
@@ -113,6 +128,15 @@ func (r Result) AvgPowerMW() float64 { return r.Breakdown.AvgPowerW() * 1000 }
 // EvaluateContext runs one policy over a tagged trace for one device,
 // honouring ctx between pipeline stages.
 func EvaluateContext(ctx context.Context, tr *trace.Trace, useful []bool, dev energy.Profile, kind policy.Kind, opts Options) (Result, error) {
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+	return evaluateScratch(ctx, tr, useful, dev, kind, opts, sc)
+}
+
+// evaluateScratch is EvaluateContext building arrivals in sc's reused
+// buffer. The arrival values are exactly what the policy's Apply would
+// produce, so every Breakdown is bit-identical to the allocating path.
+func evaluateScratch(ctx context.Context, tr *trace.Trace, useful []bool, dev energy.Profile, kind policy.Kind, opts Options, sc *evalScratch) (Result, error) {
 	opts = opts.normalized()
 	res := Result{
 		Trace:          tr.Name,
@@ -126,14 +150,24 @@ func EvaluateContext(ctx context.Context, tr *trace.Trace, useful []bool, dev en
 	}
 
 	if kind == policy.ClientSide {
+		// Build the arrivals once with a zero driver wakelock (the first
+		// sweep candidate), then re-stamp only the useless frames' Wakelock
+		// per candidate: arrivals and frames index 1:1 for this policy, and
+		// every other field is candidate-independent.
+		arr, err := policy.AppendArrivals(sc.arrivals[:0], policy.ClientSidePolicy{}, tr, useful)
+		if err != nil {
+			return Result{}, err
+		}
+		sc.arrivals = arr
 		best := false
 		for _, wl := range clientSideSweep {
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
 			}
-			arr, err := policy.ClientSidePolicy{DriverWakelock: wl}.Apply(tr, useful)
-			if err != nil {
-				return Result{}, err
+			for i := range arr {
+				if !useful[i] {
+					arr[i].Wakelock = wl
+				}
 			}
 			b, err := energy.Compute(arr, cfg)
 			if err != nil {
@@ -155,10 +189,11 @@ func EvaluateContext(ctx context.Context, tr *trace.Trace, useful []bool, dev en
 	if err != nil {
 		return Result{}, err
 	}
-	arr, err := p.Apply(tr, useful)
+	arr, err := policy.AppendArrivals(sc.arrivals[:0], p, tr, useful)
 	if err != nil {
 		return Result{}, err
 	}
+	sc.arrivals = arr
 	b, err := energy.Compute(arr, cfg)
 	if err != nil {
 		return Result{}, err
@@ -179,8 +214,10 @@ func EvaluateFractionContext(ctx context.Context, tr *trace.Trace, fraction floa
 		return Result{}, fmt.Errorf("core: useful fraction %v outside [0, 1]", fraction)
 	}
 	opts = opts.normalized()
-	useful := trace.TagUniform(tr, fraction, opts.Seed)
-	return EvaluateContext(ctx, tr, useful, dev, kind, opts)
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+	sc.useful = trace.TagUniformInto(sc.useful[:0], tr, fraction, opts.Seed)
+	return evaluateScratch(ctx, tr, sc.useful, dev, kind, opts, sc)
 }
 
 // EvaluateFraction tags the trace with a uniform useful fraction and

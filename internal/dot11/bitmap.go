@@ -66,6 +66,31 @@ func (v *VirtualBitmap) Count() int {
 	return n
 }
 
+// Or sets every bit of v that is set in o (bitwise union). Union is
+// order-independent, which is what lets Algorithm 1 fold precomputed
+// per-port bitmaps together and still produce bit-identical BTIMs.
+func (v *VirtualBitmap) Or(o *VirtualBitmap) {
+	for i := 0; i < o.hi; i++ {
+		v.octets[i] |= o.octets[i]
+	}
+	if o.hi > v.hi {
+		v.hi = o.hi
+	}
+}
+
+// Equal reports whether both bitmaps have exactly the same bits set.
+func (v *VirtualBitmap) Equal(o *VirtualBitmap) bool {
+	if v.hi != o.hi {
+		return false
+	}
+	for i := 0; i < v.hi; i++ {
+		if v.octets[i] != o.octets[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // shrink recomputes hi after a Clear.
 func (v *VirtualBitmap) shrink() {
 	for v.hi > 0 && v.octets[v.hi-1] == 0 {

@@ -170,11 +170,6 @@ func Compute(frames []Arrival, cfg Config) (Breakdown, error) {
 	if cfg.Duration <= 0 {
 		return Breakdown{}, fmt.Errorf("energy: non-positive duration %v", cfg.Duration)
 	}
-	for i := 1; i < len(frames); i++ {
-		if frames[i].At < frames[i-1].At {
-			return Breakdown{}, fmt.Errorf("energy: frames out of order at index %d", i)
-		}
-	}
 
 	dev := cfg.Device
 	b := Breakdown{Duration: cfg.Duration, Received: len(frames)}
@@ -194,14 +189,48 @@ func Compute(frames []Arrival, cfg Config) (Breakdown, error) {
 	// arriving between expiry and expiry+Tsp lands mid-suspend and
 	// aborts it (Eq. 14); later arrivals find the system suspended
 	// (Eq. 5) and pay a full resume+suspend cycle (Eq. 13).
+	// The wakelock recursion, the ordering validation, and the Eq. 7
+	// receive/idle accounting all walk the frames in order with
+	// independent accumulators, so they share one pass (and one
+	// rxDuration evaluation per frame). Each accumulator sees exactly
+	// the operation sequence the separate loops produced, keeping every
+	// float result bit-identical.
 	n := len(frames)
 	var sumWakelock time.Duration   // total time wakelocks held (Σ twl)
 	var sumAbortedY float64         // Σ y(i) for Eq. 13
 	var suspendedTime time.Duration // completed-suspend time for Fig. 9
 	var expiry time.Duration        // current wakelock expiry
 	var tr time.Duration            // wakelock start of the current frame
+	var rxTime time.Duration        // Σ tt(i) (Eq. 8)
+	var idleTime time.Duration      // Σ td(i) + Σ tf(i) (Eqs. 9-10)
+	seenInterval := int64(-1)
 	for i, f := range frames {
-		rxEnd := f.endTime()
+		if i > 0 && f.At < frames[i-1].At {
+			return Breakdown{}, fmt.Errorf("energy: frames out of order at index %d", i)
+		}
+		rx := f.rxDuration()
+		rxEnd := f.At + rx
+
+		// --- Eq. 7 terms: radio receive + idle listening.
+		rxTime += rx
+		iv := int64(f.At / cfg.BeaconInterval)
+		// tf: idle from the interval's beacon to its first frame (Eq. 9).
+		if iv != seenInterval {
+			seenInterval = iv
+			idleTime += f.At - time.Duration(iv)*cfg.BeaconInterval
+		}
+		// td: post-frame listening while more-data is set (Eq. 10).
+		if f.MoreData {
+			next := time.Duration(iv+1) * cfg.BeaconInterval
+			if i+1 < n && frames[i+1].At < next {
+				next = frames[i+1].At
+			}
+			if d := next - rxEnd; d > 0 {
+				idleTime += d
+			}
+		}
+
+		// --- Eqs. 3-5, 14 terms: the wakelock machine.
 		prevTr := tr
 		if i == 0 || rxEnd >= expiry+dev.Tsp {
 			// Suspended on arrival (the paper assumes s(1)=0): resume.
@@ -236,31 +265,6 @@ func Compute(frames []Arrival, cfg Config) (Breakdown, error) {
 		suspendedTime = cfg.Duration
 	}
 	b.SuspendFraction = math.Max(0, math.Min(1, float64(suspendedTime)/float64(cfg.Duration)))
-
-	// --- Eq. 7: radio receive + idle listening.
-	var rxTime time.Duration   // Σ tt(i)
-	var idleTime time.Duration // Σ td(i) + Σ tf(i)
-	intervalOf := func(t time.Duration) int64 { return int64(t / cfg.BeaconInterval) }
-	seenInterval := int64(-1)
-	for i, f := range frames {
-		rxTime += f.rxDuration()
-		// tf: idle from the interval's beacon to its first frame (Eq. 9).
-		if iv := intervalOf(f.At); iv != seenInterval {
-			seenInterval = iv
-			idleTime += f.At - time.Duration(iv)*cfg.BeaconInterval
-		}
-		// td: post-frame listening while more-data is set (Eq. 10).
-		if f.MoreData {
-			intervalEnd := time.Duration(intervalOf(f.At)+1) * cfg.BeaconInterval
-			next := intervalEnd
-			if i+1 < n && frames[i+1].At < next {
-				next = frames[i+1].At
-			}
-			if d := next - f.endTime(); d > 0 {
-				idleTime += d
-			}
-		}
-	}
 	b.EfJ = dev.PrW*rxTime.Seconds() + dev.PidleW*idleTime.Seconds()
 
 	// --- Eq. 12: system idle under wakelocks.

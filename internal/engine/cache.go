@@ -40,7 +40,12 @@ func key(cfg trace.GenConfig) string { return fmt.Sprintf("%#v", cfg) }
 
 // Generate returns the trace for cfg, generating it on first use.
 func (c *TraceCache) Generate(cfg trace.GenConfig) (*trace.Trace, error) {
-	k := key(cfg)
+	return c.generate(key(cfg), cfg)
+}
+
+// generate is Generate with the map key precomputed, so repeat callers
+// (the per-scenario fast path) skip the %#v rendering.
+func (c *TraceCache) generate(k string, cfg trace.GenConfig) (*trace.Trace, error) {
 	c.mu.Lock()
 	if c.m == nil {
 		c.m = make(map[string]*cacheEntry)
@@ -55,10 +60,20 @@ func (c *TraceCache) Generate(cfg trace.GenConfig) (*trace.Trace, error) {
 	return e.tr, e.err
 }
 
+// scenarioKeys memoizes the rendered cache key per scenario: every
+// suite cell resolves its trace through Scenario, and the %#v render
+// was costing more than the cache hit it guarded.
+var scenarioKeys sync.Map // trace.Scenario → string
+
 // Scenario returns the calibrated trace for one of the paper's five
 // scenarios, generating it on first use.
 func (c *TraceCache) Scenario(s trace.Scenario) (*trace.Trace, error) {
-	return c.Generate(trace.ScenarioConfig(s))
+	cfg := trace.ScenarioConfig(s)
+	k, ok := scenarioKeys.Load(s)
+	if !ok {
+		k, _ = scenarioKeys.LoadOrStore(s, key(cfg))
+	}
+	return c.generate(k.(string), cfg)
 }
 
 // Len reports how many distinct traces the cache holds.

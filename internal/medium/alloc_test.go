@@ -1,0 +1,51 @@
+package medium
+
+import (
+	"testing"
+
+	"repro/internal/dot11"
+)
+
+// These tests pin the medium's allocation budget. One transmission costs
+// exactly one allocation — the single injection copy that makes the
+// in-flight frame immutable — regardless of how many subscribers the
+// fan-out reaches. The old medium paid one frame clone per receiver plus
+// a closure and a map walk; a regression toward any of those fails here.
+
+// TestAllocBudgetBroadcastFanout: one group-addressed transmission to 16
+// subscribers = 1 alloc (the injection copy), not 16.
+func TestAllocBudgetBroadcastFanout(t *testing.T) {
+	eng, m, src := benchMedium(16)
+	frame := benchFrame(dot11.Broadcast, src)
+	// Warm the pending-transmission pool.
+	for i := 0; i < 8; i++ {
+		m.Transmit(src, frame, dot11.Rate11Mbps)
+		eng.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Transmit(src, frame, dot11.Rate11Mbps)
+		eng.Step()
+	})
+	if allocs > 1 {
+		t.Fatalf("broadcast fan-out: %.1f allocs/op, want <= 1 (injection copy only)", allocs)
+	}
+}
+
+// TestAllocBudgetUnicastDelivery: one unicast transmission among 16
+// attached nodes = 1 alloc, with no per-delivery map lookup loop.
+func TestAllocBudgetUnicastDelivery(t *testing.T) {
+	eng, m, src := benchMedium(16)
+	dst := dot11.MACAddr{0x02, 0, 0, 0, 1, 3}
+	frame := benchFrame(dst, src)
+	for i := 0; i < 8; i++ {
+		m.Transmit(src, frame, dot11.Rate11Mbps)
+		eng.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Transmit(src, frame, dot11.Rate11Mbps)
+		eng.Step()
+	})
+	if allocs > 1 {
+		t.Fatalf("unicast delivery: %.1f allocs/op, want <= 1 (injection copy only)", allocs)
+	}
+}

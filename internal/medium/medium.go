@@ -44,7 +44,7 @@ type Medium struct {
 	eng       *sim.Engine
 	phy       dot11.PHY
 	nodes     map[dot11.MACAddr]Node
-	order     []dot11.MACAddr // deterministic broadcast delivery order
+	fanout    []fanoutEntry // precomputed broadcast delivery order (attach order)
 	busyUntil time.Duration
 	plan      fault.Plan
 	rng       *sim.RNG
@@ -53,6 +53,25 @@ type Medium struct {
 	Stats Stats
 
 	tap func(raw []byte, rate dot11.Rate, at time.Duration)
+
+	deliverFn sim.ArgEvent // bound once; avoids a closure per Transmit
+	txFree    []*pendingTx // recycled in-flight transmission records
+}
+
+// fanoutEntry pairs an attached address with its node so group fan-out
+// walks a flat slice instead of resolving each address through the map.
+type fanoutEntry struct {
+	addr dot11.MACAddr
+	node Node
+}
+
+// pendingTx carries one in-flight transmission from Transmit to its
+// delivery event. Records are pooled: the frame buffer they reference is
+// the single injection copy, shared (immutably) by every receiver.
+type pendingTx struct {
+	src   dot11.MACAddr
+	frame []byte
+	rate  dot11.Rate
 }
 
 // Stats tallies channel activity.
@@ -67,12 +86,14 @@ type Stats struct {
 
 // New creates a medium on the engine with the given PHY parameters.
 func New(eng *sim.Engine, phy dot11.PHY, seed uint64) *Medium {
-	return &Medium{
+	m := &Medium{
 		eng:   eng,
 		phy:   phy,
 		nodes: make(map[dot11.MACAddr]Node),
 		rng:   sim.NewRNG(seed),
 	}
+	m.deliverFn = m.deliverEvent
+	return m
 }
 
 // SetLoss sets the independent per-delivery loss probability — the
@@ -105,10 +126,18 @@ func (m *Medium) SetTap(tap func(raw []byte, rate dot11.Rate, at time.Duration))
 }
 
 // Attach registers a node under its MAC address. Attaching the same
-// address twice replaces the previous node.
+// address twice replaces the previous node and keeps its original
+// position in the broadcast delivery order.
 func (m *Medium) Attach(addr dot11.MACAddr, n Node) {
 	if _, ok := m.nodes[addr]; !ok {
-		m.order = append(m.order, addr)
+		m.fanout = append(m.fanout, fanoutEntry{addr: addr, node: n})
+	} else {
+		for i := range m.fanout {
+			if m.fanout[i].addr == addr {
+				m.fanout[i].node = n
+				break
+			}
+		}
 	}
 	m.nodes[addr] = n
 }
@@ -139,15 +168,37 @@ func (m *Medium) Transmit(src dot11.MACAddr, raw []byte, rate dot11.Rate) time.D
 	m.Stats.Transmissions++
 	m.Stats.AirtimeBusy += air
 
-	// Copy: the caller may reuse its buffer.
+	// The single copy on the frame's whole journey: the caller may reuse
+	// its buffer, but from here every receiver shares this one buffer
+	// immutably (the fault plan's Corrupt verdict is the only cloning
+	// path; see deliverOne).
 	frame := append([]byte(nil), raw...)
 	if m.tap != nil {
 		m.tap(frame, rate, start)
 	}
-	m.eng.MustScheduleAt(end, func(now time.Duration) {
-		m.deliver(src, frame, rate, now)
-	})
+	tx := m.allocTx()
+	tx.src, tx.frame, tx.rate = src, frame, rate
+	m.eng.MustScheduleArgAt(end, m.deliverFn, tx)
 	return end
+}
+
+// allocTx takes a pendingTx from the free list or allocates one.
+func (m *Medium) allocTx() *pendingTx {
+	if n := len(m.txFree); n > 0 {
+		tx := m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		return tx
+	}
+	return new(pendingTx)
+}
+
+// deliverEvent is the bound ArgEvent for scheduled deliveries.
+func (m *Medium) deliverEvent(now time.Duration, arg any) {
+	tx := arg.(*pendingTx)
+	m.deliver(tx.src, tx.frame, tx.rate, now)
+	tx.frame = nil
+	m.txFree = append(m.txFree, tx)
 }
 
 // deliver routes the frame to its destination(s).
@@ -157,24 +208,23 @@ func (m *Medium) deliver(src dot11.MACAddr, raw []byte, rate dot11.Rate, now tim
 		return
 	}
 	if dst.IsMulticast() {
-		for _, addr := range m.order {
-			if addr == src {
+		for i := range m.fanout {
+			e := &m.fanout[i]
+			if e.addr == src {
 				continue
 			}
-			m.deliverOne(addr, src, dst, raw, rate, now)
+			m.deliverOne(e.node, e.addr, src, dst, raw, rate, now)
 		}
 		return
 	}
-	m.deliverOne(dst, src, dst, raw, rate, now)
+	if n, ok := m.nodes[dst]; ok {
+		m.deliverOne(n, dst, src, dst, raw, rate, now)
+	}
 }
 
 // deliverOne hands the frame to one node, applying the fault plan's
 // verdict for this (frame, receiver) pair.
-func (m *Medium) deliverOne(rcv, src, dst dot11.MACAddr, raw []byte, rate dot11.Rate, now time.Duration) {
-	n, ok := m.nodes[rcv]
-	if !ok {
-		return
-	}
+func (m *Medium) deliverOne(n Node, rcv, src, dst dot11.MACAddr, raw []byte, rate dot11.Rate, now time.Duration) {
 	if m.plan != nil {
 		v := m.plan.Deliver(fault.Delivery{
 			Raw: raw, Kind: dot11.Classify(raw),

@@ -27,15 +27,19 @@ func (receiveAll) Kind() Kind { return ReceiveAll }
 // Apply passes every frame with the full τ wakelock. The usefulness
 // vector is validated but otherwise ignored: the stock system cannot
 // tell useful frames apart.
-func (receiveAll) Apply(tr *trace.Trace, useful []bool) ([]energy.Arrival, error) {
+func (p receiveAll) Apply(tr *trace.Trace, useful []bool) ([]energy.Arrival, error) {
+	return p.appendTo(nil, tr, useful)
+}
+
+func (receiveAll) appendTo(dst []energy.Arrival, tr *trace.Trace, useful []bool) ([]energy.Arrival, error) {
 	if err := checkLen(tr, useful); err != nil {
 		return nil, err
 	}
-	out := make([]energy.Arrival, len(tr.Frames))
-	for i, f := range tr.Frames {
-		out[i] = convert(f, tau)
+	dst = growArrivals(dst, len(tr.Frames))
+	for _, f := range tr.Frames {
+		dst = append(dst, convert(f, tau))
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DefaultDriverWakelock is the short wakelock the client-side filter
@@ -68,18 +72,22 @@ func (ClientSidePolicy) Kind() Kind { return ClientSide }
 
 // Apply passes every frame; useless frames get the driver wakelock.
 func (p ClientSidePolicy) Apply(tr *trace.Trace, useful []bool) ([]energy.Arrival, error) {
+	return p.appendTo(nil, tr, useful)
+}
+
+func (p ClientSidePolicy) appendTo(dst []energy.Arrival, tr *trace.Trace, useful []bool) ([]energy.Arrival, error) {
 	if err := checkLen(tr, useful); err != nil {
 		return nil, err
 	}
-	out := make([]energy.Arrival, len(tr.Frames))
+	dst = growArrivals(dst, len(tr.Frames))
 	for i, f := range tr.Frames {
 		wl := p.DriverWakelock
 		if useful[i] {
 			wl = tau
 		}
-		out[i] = convert(f, wl)
+		dst = append(dst, convert(f, wl))
 	}
-	return out, nil
+	return dst, nil
 }
 
 // hidePolicy implements the paper's AP-side filter: useless frames are
@@ -93,17 +101,52 @@ var _ Policy = hidePolicy{}
 func (hidePolicy) Kind() Kind { return HIDE }
 
 // Apply passes only useful frames.
-func (hidePolicy) Apply(tr *trace.Trace, useful []bool) ([]energy.Arrival, error) {
+func (p hidePolicy) Apply(tr *trace.Trace, useful []bool) ([]energy.Arrival, error) {
+	return p.appendTo(nil, tr, useful)
+}
+
+func (hidePolicy) appendTo(dst []energy.Arrival, tr *trace.Trace, useful []bool) ([]energy.Arrival, error) {
 	if err := checkLen(tr, useful); err != nil {
 		return nil, err
 	}
-	var out []energy.Arrival
 	for i, f := range tr.Frames {
 		if useful[i] {
-			out = append(out, convert(f, tau))
+			dst = append(dst, convert(f, tau))
 		}
 	}
-	return out, nil
+	return dst, nil
+}
+
+// AppendArrivals applies p to the tagged trace, appending the arrivals
+// to dst — normally dst[:0] of a buffer reused across evaluation cells
+// — and returning the extended slice. It produces exactly the arrivals
+// p.Apply would, without the per-call slice allocation for the builtin
+// policies; other Policy implementations fall back to Apply.
+func AppendArrivals(dst []energy.Arrival, p Policy, tr *trace.Trace, useful []bool) ([]energy.Arrival, error) {
+	switch q := p.(type) {
+	case receiveAll:
+		return q.appendTo(dst, tr, useful)
+	case ClientSidePolicy:
+		return q.appendTo(dst, tr, useful)
+	case hidePolicy:
+		return q.appendTo(dst, tr, useful)
+	default:
+		arr, err := p.Apply(tr, useful)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, arr...), nil
+	}
+}
+
+// growArrivals ensures dst can take n more appends without reallocating.
+func growArrivals(dst []energy.Arrival, n int) []energy.Arrival {
+	if cap(dst)-len(dst) < n {
+		g := make([]energy.Arrival, len(dst), len(dst)+n)
+		copy(g, dst)
+		return g
+	}
+	return dst
 }
 
 // CombinedPolicy is the paper's future-work combination (§VIII): HIDE

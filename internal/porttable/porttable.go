@@ -25,8 +25,10 @@ import (
 // from its event loop.
 type Table struct {
 	byPort    map[uint16]map[dot11.AID]struct{}
+	portBits  map[uint16]*dot11.VirtualBitmap // reverse index: port → listener AID bitmap
 	byClient  map[dot11.AID][]uint16
 	refreshed map[dot11.AID]time.Duration
+	gen       uint64 // bumped on every mutation; lets callers cache derived state
 	ops       OpCounts
 }
 
@@ -41,6 +43,7 @@ type OpCounts struct {
 func New() *Table {
 	return &Table{
 		byPort:    make(map[uint16]map[dot11.AID]struct{}),
+		portBits:  make(map[uint16]*dot11.VirtualBitmap),
 		byClient:  make(map[dot11.AID][]uint16),
 		refreshed: make(map[dot11.AID]time.Duration),
 	}
@@ -52,10 +55,19 @@ func (t *Table) init() {
 		t.byPort = make(map[uint16]map[dot11.AID]struct{})
 		t.byClient = make(map[dot11.AID][]uint16)
 	}
+	if t.portBits == nil {
+		t.portBits = make(map[uint16]*dot11.VirtualBitmap)
+	}
 	if t.refreshed == nil {
 		t.refreshed = make(map[dot11.AID]time.Duration)
 	}
 }
+
+// Gen returns the table's mutation generation: it changes whenever the
+// port → client mapping may have changed, so callers (the AP's beacon
+// cache) can detect staleness of state derived from the table without
+// subscribing to individual updates.
+func (t *Table) Gen() uint64 { return t.gen }
 
 // Update replaces the port set for a client with the ports from its
 // latest UDP Port Message: the client's old ports are deleted and the
@@ -71,11 +83,18 @@ func (t *Table) Update(aid dot11.AID, ports []uint16) {
 // arrival time of the UDP Port Message that carried the refresh.
 func (t *Table) UpdateAt(aid dot11.AID, ports []uint16, now time.Duration) {
 	t.init()
+	if len(t.byClient[aid]) > 0 || len(ports) > 0 {
+		t.gen++
+	}
 	for _, p := range t.byClient[aid] {
 		if set := t.byPort[p]; set != nil {
 			delete(set, aid)
+			if bits := t.portBits[p]; bits != nil {
+				bits.Clear(aid)
+			}
 			if len(set) == 0 {
 				delete(t.byPort, p)
+				delete(t.portBits, p)
 			}
 			t.ops.Deletes++
 		}
@@ -100,6 +119,12 @@ func (t *Table) UpdateAt(aid dot11.AID, ports []uint16, now time.Duration) {
 			t.byPort[p] = set
 		}
 		set[aid] = struct{}{}
+		bits := t.portBits[p]
+		if bits == nil {
+			bits = new(dot11.VirtualBitmap)
+			t.portBits[p] = bits
+		}
+		bits.Set(aid)
 		t.ops.Inserts++
 	}
 	t.byClient[aid] = uniq
@@ -152,6 +177,20 @@ func (t *Table) Lookup(port uint16) []dot11.AID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// OrListeners ORs the bitmap of clients listening on port into dst and
+// reports whether any client listens. It prices as one lookup, exactly
+// like Lookup, but reads the maintained reverse index instead of
+// sorting the listener set — this is Algorithm 1's hot path.
+func (t *Table) OrListeners(port uint16, dst *dot11.VirtualBitmap) bool {
+	t.ops.Lookups++
+	bits := t.portBits[port]
+	if bits == nil {
+		return false
+	}
+	dst.Or(bits)
+	return true
 }
 
 // Listening reports whether the client has the port open.

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the engine's allocation budget: the pooled scheduler
+// exists so the per-event cost every simulated frame, beacon, and
+// wakelock rearm pays is zero heap objects in steady state. A regression
+// here (a new closure capture, a lost free-list recycle) fails loudly
+// instead of silently re-inflating the hot path.
+
+// TestAllocBudgetScheduleStep asserts the core schedule→dispatch cycle
+// allocates nothing once the item pool is warm.
+func TestAllocBudgetScheduleStep(t *testing.T) {
+	eng := New()
+	fn := func(time.Duration) {}
+	// Warm the free list and the queue's backing array.
+	for i := 0; i < 64; i++ {
+		eng.MustScheduleAfter(time.Duration(i)*time.Microsecond, fn)
+	}
+	for eng.Step() {
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		eng.MustScheduleAfter(time.Microsecond, fn)
+		eng.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+step: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocBudgetScheduleCancel asserts the rearm pattern the stations
+// use on every arrival — cancel the pending event, schedule a fresh one
+// — stays allocation-free: cancelled items are recycled when the queue
+// drains past them.
+func TestAllocBudgetScheduleCancel(t *testing.T) {
+	eng := New()
+	fn := func(time.Duration) {}
+	for i := 0; i < 64; i++ {
+		eng.MustScheduleAfter(time.Duration(i)*time.Microsecond, fn)
+	}
+	for eng.Step() {
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		h := eng.MustScheduleAfter(time.Millisecond, fn)
+		h.Cancel()
+		eng.MustScheduleAfter(time.Microsecond, fn)
+		eng.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+cancel+step: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocBudgetScheduleArg asserts the arg-carrying schedule path —
+// one bound function, per-event state passed as a pointer — does not box
+// or capture: pointer-shaped args ride in the interface word for free.
+func TestAllocBudgetScheduleArg(t *testing.T) {
+	eng := New()
+	var sink int
+	fn := func(now time.Duration, arg any) { sink += *arg.(*int) }
+	payload := 7
+	for i := 0; i < 64; i++ {
+		eng.MustScheduleArgAt(eng.Now()+time.Microsecond, fn, &payload)
+	}
+	for eng.Step() {
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		eng.MustScheduleArgAt(eng.Now()+time.Microsecond, fn, &payload)
+		eng.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule-arg+step: %.1f allocs/op, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("arg events never fired")
+	}
+}

@@ -43,29 +43,40 @@ func (e *Engine) RunRealtime(ctx context.Context, inject <-chan Event) error {
 		}
 	}
 
+	// One timer serves the whole loop: Stop/Reset instead of a fresh
+	// time.Timer (and its runtime timer allocation) per iteration.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			<-timer.C // fired between select and Stop: drain for the next Reset
+		}
+		armed = false
+	}
+	defer disarm()
+
 	for {
+		disarm()
 		var timerC <-chan time.Time
-		var timer *time.Timer
 		if next, ok := e.peek(); ok {
 			delay := next - vnow()
 			if delay < 0 {
 				delay = 0
 			}
-			timer = time.NewTimer(delay)
+			timer.Reset(delay)
+			armed = true
 			timerC = timer.C
 		}
 		select {
 		case <-ctx.Done():
-			if timer != nil {
-				timer.Stop()
-			}
 			return ctx.Err()
 		case <-timerC:
+			armed = false
 			catchUp()
 		case fn, ok := <-inject:
-			if timer != nil {
-				timer.Stop()
-			}
 			if !ok {
 				return nil
 			}

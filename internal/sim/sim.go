@@ -7,6 +7,13 @@
 //
 // All simulation time is expressed as time.Duration offsets from the
 // start of the run. The engine never consults the wall clock.
+//
+// The engine is allocation-lean on its hot path: queue items are
+// recycled through a free list (generation-guarded, so stale Handles
+// cannot touch a recycled slot), the queue backing array is pre-sized,
+// and the ScheduleArg variants let periodic callers (beacon ticks,
+// frame deliveries, wakelock expiries) attach per-event state without
+// allocating a closure per event.
 package sim
 
 import (
@@ -19,44 +26,64 @@ import (
 // Event is a callback scheduled to run at a virtual time.
 type Event func(now time.Duration)
 
+// ArgEvent is a callback with an attached argument. Callers that fire
+// the same logical event many times (a medium delivering frames, an AP
+// ticking beacons) bind one ArgEvent value once and pass per-event
+// state through arg, avoiding a closure allocation per schedule.
+type ArgEvent func(now time.Duration, arg any)
+
 // Hook observes event dispatch: each registered hook runs after every
 // dispatched event, at the event's virtual time. Hooks are how the
 // cross-validation harness (internal/check) asserts protocol invariants
 // on every simulation step; they must not schedule or cancel events.
 type Hook func(now time.Duration)
 
-// item is a scheduled event inside the queue.
+// item is a scheduled event inside the queue. Items are recycled via
+// the engine's free list; gen increments on every recycle so Handles
+// referring to a previous occupancy turn inert.
 type item struct {
-	at   time.Duration
-	seq  uint64 // insertion order, breaks ties deterministically
-	fn   Event
-	done bool // cancelled
-	idx  int  // heap index, -1 once popped
+	at    time.Duration
+	seq   uint64 // insertion order, breaks ties deterministically
+	gen   uint64 // recycle generation, guards stale Handles
+	fn    Event
+	argFn ArgEvent
+	arg   any
+	done  bool // cancelled or fired
+	idx   int  // heap index, -1 once popped
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
+// Handle identifies a scheduled event so it can be cancelled. The
+// generation stamp keeps a Handle inert once its event has fired or
+// been cancelled and the slot recycled.
 type Handle struct {
-	it *item
+	it  *item
+	gen uint64
 }
+
+// live reports whether the handle still refers to its original event.
+func (h Handle) live() bool { return h.it != nil && h.it.gen == h.gen }
 
 // Cancel prevents the event from firing. Cancelling an event that has
 // already fired or been cancelled is a no-op. Cancel reports whether the
 // event was still pending.
 func (h Handle) Cancel() bool {
-	if h.it == nil || h.it.done {
+	if !h.live() || h.it.done {
 		return false
 	}
 	h.it.done = true
 	h.it.fn = nil
+	h.it.argFn = nil
+	h.it.arg = nil
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
-func (h Handle) Pending() bool { return h.it != nil && !h.it.done }
+func (h Handle) Pending() bool { return h.live() && !h.it.done }
 
-// At returns the virtual time the event is scheduled for.
+// At returns the virtual time the event is scheduled for, or zero once
+// the event has fired or been cancelled and its slot recycled.
 func (h Handle) At() time.Duration {
-	if h.it == nil {
+	if !h.live() {
 		return 0
 	}
 	return h.it.at
@@ -100,11 +127,17 @@ func (q *eventQueue) Pop() any {
 // current virtual time.
 var ErrSchedulePast = errors.New("sim: event scheduled in the past")
 
+// initialQueueCapacity pre-sizes a New engine's queue and free list so
+// steady-state simulations (a beacon tick, a handful of in-flight
+// frames and timers) never grow the heap backing array.
+const initialQueueCapacity = 64
+
 // Engine is a discrete-event simulation engine. The zero value is ready
 // to use; its clock starts at 0.
 type Engine struct {
 	now     time.Duration
 	queue   eventQueue
+	free    []*item // recycled items, LIFO
 	seq     uint64
 	fired   uint64
 	running bool
@@ -112,8 +145,10 @@ type Engine struct {
 	hooks   []Hook
 }
 
-// New returns a new Engine with its clock at 0.
-func New() *Engine { return &Engine{} }
+// New returns a new Engine with its clock at 0 and a pre-sized queue.
+func New() *Engine {
+	return &Engine{queue: make(eventQueue, 0, initialQueueCapacity)}
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
@@ -125,22 +160,63 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // cancelled events that have not been drained yet.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// ScheduleAt schedules fn to run at absolute virtual time at.
-// It returns an error if at is before the current time.
-func (e *Engine) ScheduleAt(at time.Duration, fn Event) (Handle, error) {
+// alloc takes an item from the free list or allocates a fresh one.
+func (e *Engine) alloc() *item {
+	if n := len(e.free); n > 0 {
+		it := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return it
+	}
+	return &item{}
+}
+
+// release recycles a popped item. Bumping the generation first makes
+// every outstanding Handle for this occupancy inert.
+func (e *Engine) release(it *item) {
+	it.gen++
+	it.fn = nil
+	it.argFn = nil
+	it.arg = nil
+	it.done = false
+	it.idx = -1
+	e.free = append(e.free, it)
+}
+
+// schedule enqueues a prepared item.
+func (e *Engine) schedule(at time.Duration, fn Event, argFn ArgEvent, arg any) (Handle, error) {
 	if at < e.now {
 		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrSchedulePast, at, e.now)
 	}
-	it := &item{at: at, seq: e.seq, fn: fn}
+	it := e.alloc()
+	it.at = at
+	it.seq = e.seq
+	it.fn = fn
+	it.argFn = argFn
+	it.arg = arg
 	e.seq++
 	heap.Push(&e.queue, it)
-	return Handle{it: it}, nil
+	return Handle{it: it, gen: it.gen}, nil
+}
+
+// ScheduleAt schedules fn to run at absolute virtual time at.
+// It returns an error if at is before the current time.
+func (e *Engine) ScheduleAt(at time.Duration, fn Event) (Handle, error) {
+	return e.schedule(at, fn, nil, nil)
 }
 
 // ScheduleAfter schedules fn to run delay after the current virtual time.
 // A negative delay is an error.
 func (e *Engine) ScheduleAfter(delay time.Duration, fn Event) (Handle, error) {
-	return e.ScheduleAt(e.now+delay, fn)
+	return e.schedule(e.now+delay, fn, nil, nil)
+}
+
+// ScheduleArgAt schedules fn(now, arg) at absolute virtual time at.
+// Binding fn once and passing state through arg keeps per-event
+// scheduling allocation-free (arg is stored as-is; pointer-shaped args
+// do not allocate).
+func (e *Engine) ScheduleArgAt(at time.Duration, fn ArgEvent, arg any) (Handle, error) {
+	return e.schedule(at, nil, fn, arg)
 }
 
 // MustScheduleAt is ScheduleAt but panics on error. It is intended for
@@ -162,6 +238,15 @@ func (e *Engine) MustScheduleAfter(delay time.Duration, fn Event) Handle {
 	return h
 }
 
+// MustScheduleArgAt is ScheduleArgAt but panics on error.
+func (e *Engine) MustScheduleArgAt(at time.Duration, fn ArgEvent, arg any) Handle {
+	h, err := e.ScheduleArgAt(at, fn, arg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
 // Stop makes the current Run/RunUntil call return after the event being
 // dispatched completes. Pending events stay queued.
 func (e *Engine) Stop() { e.stopped = true }
@@ -176,14 +261,18 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		it := heap.Pop(&e.queue).(*item)
 		if it.done {
+			e.release(it)
 			continue
 		}
-		it.done = true
 		e.now = it.at
-		fn := it.fn
-		it.fn = nil
+		fn, argFn, arg := it.fn, it.argFn, it.arg
+		e.release(it)
 		e.fired++
-		fn(e.now)
+		if fn != nil {
+			fn(e.now)
+		} else {
+			argFn(e.now, arg)
+		}
 		for _, h := range e.hooks {
 			h(e.now)
 		}
@@ -230,14 +319,15 @@ func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
 // Real-time drivers use it to decide how long to sleep between steps.
 func (e *Engine) NextEventAt() (time.Duration, bool) { return e.peek() }
 
-// peek returns the timestamp of the next live event.
+// peek returns the timestamp of the next live event, draining (and
+// recycling) cancelled entries from the top of the heap.
 func (e *Engine) peek() (time.Duration, bool) {
 	for len(e.queue) > 0 {
 		it := e.queue[0]
 		if !it.done {
 			return it.at, true
 		}
-		heap.Pop(&e.queue)
+		e.release(heap.Pop(&e.queue).(*item))
 	}
 	return 0, false
 }

@@ -214,6 +214,12 @@ type Station struct {
 	arrivals []energy.Arrival
 	stats    Stats
 	obs      Observer
+
+	// Bound once in New so the rearm-heavy paths (suspend checks fire
+	// per arrival, ACK timers per port message) do not allocate a fresh
+	// method-value closure per schedule.
+	trySuspendFn sim.Event
+	ackTimeoutFn sim.Event
 }
 
 var _ medium.Node = (*Station)(nil)
@@ -228,6 +234,8 @@ func New(eng *sim.Engine, med medium.Channel, cfg Config) *Station {
 		ports: make(map[uint16]bool),
 		rng:   sim.NewRNG(cfg.Seed ^ addrSeed(cfg.Addr)),
 	}
+	s.trySuspendFn = s.trySuspend
+	s.ackTimeoutFn = s.ackTimeout
 	med.Attach(cfg.Addr, s)
 	return s
 }
@@ -642,7 +650,7 @@ func (s *Station) scheduleSuspendCheck() {
 	if at < s.eng.Now() {
 		at = s.eng.Now()
 	}
-	s.suspendEv = s.eng.MustScheduleAt(at, s.trySuspend)
+	s.suspendEv = s.eng.MustScheduleAt(at, s.trySuspendFn)
 }
 
 // trySuspend initiates suspend once all wakelocks have expired: a HIDE
@@ -689,7 +697,7 @@ func (s *Station) sendPortMessage(now time.Duration) {
 	}
 	s.awaitingACK = true
 	s.ackTimer.Cancel()
-	s.ackTimer = s.eng.MustScheduleAfter(s.ackWait(), s.ackTimeout)
+	s.ackTimer = s.eng.MustScheduleAfter(s.ackWait(), s.ackTimeoutFn)
 }
 
 // maxBackoffShift caps the exponential ACK-timeout backoff at 16× the

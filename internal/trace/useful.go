@@ -29,6 +29,18 @@ func TagUniform(tr *Trace, p float64, seed uint64) []bool {
 	return u
 }
 
+// TagUniformInto is TagUniform appending into dst (normally dst[:0] of
+// a reused buffer), growing it only when capacity runs out. The RNG
+// draw sequence is identical to TagUniform's, so the vector matches it
+// bit for bit.
+func TagUniformInto(dst []bool, tr *Trace, p float64, seed uint64) []bool {
+	r := *sim.NewRNG(seed)
+	for range tr.Frames {
+		dst = append(dst, r.Float64() < p)
+	}
+	return dst
+}
+
 // TagByOpenPorts returns a usefulness vector where a frame is useful
 // iff its destination port is in open.
 func TagByOpenPorts(tr *Trace, open map[uint16]bool) []bool {
