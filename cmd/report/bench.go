@@ -11,6 +11,7 @@ import (
 	"repro"
 	"repro/internal/ap"
 	chk "repro/internal/check"
+	"repro/internal/core"
 	"repro/internal/dot11"
 	"repro/internal/medium"
 	"repro/internal/sim"
@@ -19,7 +20,7 @@ import (
 // Bench mode runs the repository's headline benchmarks — the hot paths
 // the pooled scheduler, copy-free medium, and incremental beacon encoder
 // optimize — through testing.Benchmark with allocation reporting, and
-// records ns/op, B/op, and allocs/op as JSON. The committed BENCH_5.json
+// records ns/op, B/op, and allocs/op as JSON. The committed BENCH_6.json
 // is the performance trajectory: CI re-runs this mode and prints an
 // informational comparison, so a regression shows up in the job log
 // without flaking the build on machine variance.
@@ -54,6 +55,7 @@ func runBench(out, baseline string) {
 		{"ChaosCell/beacon-drops", benchChaosCell},
 		{"BeaconEncode/IdleDTIM", benchBeaconEncode},
 		{"MediumFanout/16", benchMediumFanout},
+		{"Stations/1M", benchStationsMillion},
 	}
 
 	file := BenchFile{
@@ -127,11 +129,11 @@ func delta(base, cur float64) float64 {
 	return (cur - base) / base * 100
 }
 
-// benchTrajectory renders the committed BENCH_5.json record as a
+// benchTrajectory renders the committed BENCH_6.json record as a
 // markdown section of the report. Silently skipped when the file is
 // absent (the report is normally regenerated from the repo root).
 func benchTrajectory() {
-	raw, err := os.ReadFile("BENCH_5.json")
+	raw, err := os.ReadFile("BENCH_6.json")
 	if err != nil {
 		return
 	}
@@ -140,7 +142,7 @@ func benchTrajectory() {
 		return
 	}
 	fmt.Println()
-	fmt.Println("### Hot-path benchmark trajectory (committed BENCH_5.json)")
+	fmt.Println("### Hot-path benchmark trajectory (committed BENCH_6.json)")
 	fmt.Println()
 	fmt.Printf("Recorded with `go run ./cmd/report -bench` on %s/%s, GOMAXPROCS %d, %s:\n",
 		f.GOOS, f.GOARCH, f.GOMAXPROCS, f.GoVersion)
@@ -160,11 +162,15 @@ func benchTrajectory() {
 	fmt.Println("~260 ns / 1 alloc, and a 16-subscriber broadcast fan-out from 672 ns /")
 	fmt.Println("3 allocs to ~310 ns / 1 alloc — with byte-identical simulation output")
 	fmt.Println("(golden figures, chaos fingerprints, and beacon byte streams are all")
-	fmt.Println("asserted unchanged). CI's bench-smoke job re-runs this mode against")
-	fmt.Println("the committed record as an informational comparison.")
+	fmt.Println("asserted unchanged). Stations/1M replays a 2-minute trace against 10⁶")
+	fmt.Println("modeled HIDE clients via cohort stations (internal/station) — exact")
+	fmt.Println("within the AID space per the internal/check equivalence suite, the")
+	fmt.Println("aggregate what-if regime past it (DESIGN.md §9). CI's bench-smoke")
+	fmt.Println("job re-runs this mode against the committed record as an")
+	fmt.Println("informational comparison (and against the prior BENCH_5.json point).")
 	fmt.Println()
 	fmt.Println("Regenerate: `go run ./cmd/report -bench`; compare:")
-	fmt.Println("`go run ./cmd/report -bench -benchout /tmp/b.json -baseline BENCH_5.json`.")
+	fmt.Println("`go run ./cmd/report -bench -benchout /tmp/b.json -baseline BENCH_6.json`.")
 }
 
 // benchRunSuite measures the full figure-suite evaluation for one
@@ -248,6 +254,34 @@ func benchBeaconEncode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.RunUntil(time.Duration(i+1) * dot11.DefaultBeaconInterval)
+	}
+}
+
+// benchStationsMillion measures the client-population scaling
+// experiment at one million HIDE stations — the cohort-station
+// headline. Each port class is folded into a single CohortStation
+// (Options.Cohort saturates the class size), so the protocol
+// simulation replays the 2-minute WRL trace against 10⁶ modeled
+// clients in one op. Within the AID space cohorts are proven exact by
+// the equivalence suite in internal/check; past it they run in the
+// aggregate what-if regime (DESIGN.md §9).
+func benchStationsMillion(b *testing.B) {
+	cfg := hide.ScenarioConfig(hide.WRL)
+	cfg.Duration = 2 * time.Minute
+	tr, err := hide.GenerateTraceConfig(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := core.ScaleClientsOptions(tr, hide.NexusOne, []int{1_000_000}, core.Options{Cohort: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[0].N != 1_000_000 {
+			b.Fatalf("scaled %d clients, want 1000000", pts[0].N)
+		}
 	}
 }
 

@@ -1,0 +1,350 @@
+// Cohort equivalence layer: proves the CohortStation fold exact.
+//
+// A cohort of N members must be indistinguishable from N
+// individually-modeled stations on every observable the simulation
+// exposes: the monitor-mode frame stream (byte-identical, in order),
+// each member's arrival log and protocol counters, and the Section IV
+// energy breakdown priced from those arrivals (bit-identical floats —
+// compared with ==, not a tolerance). Both sides join through the same
+// direct-association path (core.AddStationDirect / core.AddCohort), so
+// the comparison isolates the cohort fold itself.
+
+package check
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/policy"
+	"repro/internal/station"
+	"repro/internal/trace"
+)
+
+// EquivCell identifies one cohort-vs-expanded comparison: a station
+// population of Size members in the mode matching Policy, replaying a
+// Scenario trace.
+type EquivCell struct {
+	Policy   policy.Kind
+	Scenario trace.Scenario
+	Size     int
+}
+
+// String labels the cell for reports.
+func (c EquivCell) String() string {
+	return fmt.Sprintf("%s/%s/n%d", c.Policy, c.Scenario, c.Size)
+}
+
+// EquivConfig tunes a cohort-equivalence run.
+type EquivConfig struct {
+	// Duration truncates the scenario traces; zero keeps the paper's
+	// full capture durations. Tests use a couple of minutes.
+	Duration time.Duration
+	// UsefulTarget is the port-derived useful-traffic fraction (default
+	// 0.10); the resulting open-port set is shared by every member.
+	UsefulTarget float64
+	// Seed perturbs the scenario's calibrated generator seed and drives
+	// both networks' jitter RNGs, like the oracle's Cell.Seed.
+	Seed uint64
+	// Devices are the profiles the per-member breakdowns are priced
+	// for; empty selects both Table I devices.
+	Devices []energy.Profile
+	// Workers bounds the matrix parallelism: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces the sequential path.
+	Workers int
+	// Fault, when non-nil, returns a fresh fault plan per network. Both
+	// sides install their own instance (plans may be stateful) over
+	// identically-seeded medium RNGs, so a plan that hits a member
+	// subset must split the cohort into exactly the segments the
+	// expanded stations would form on their own.
+	Fault func() fault.Plan
+}
+
+// normalized fills defaults.
+func (c EquivConfig) normalized() EquivConfig {
+	if c.UsefulTarget <= 0 {
+		c.UsefulTarget = 0.10
+	}
+	if len(c.Devices) == 0 {
+		c.Devices = []energy.Profile{energy.NexusOne, energy.GalaxyS4}
+	}
+	return c
+}
+
+// airDigest fingerprints a monitor-mode capture: an FNV-1a hash over
+// every transmission's start-of-airtime instant, PHY rate, and raw
+// bytes, in serialization order. Two runs share a fingerprint exactly
+// when their frame streams are byte-identical and identically timed.
+type airDigest struct {
+	h      hash.Hash64
+	frames int
+}
+
+func newAirDigest() *airDigest { return &airDigest{h: fnv.New64a()} }
+
+func (d *airDigest) tap(raw []byte, rate dot11.Rate, at time.Duration) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(at))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(rate))
+	//lint:ignore errdrop hash.Hash writes never fail
+	d.h.Write(hdr[:])
+	//lint:ignore errdrop hash.Hash writes never fail
+	d.h.Write(raw)
+	d.frames++
+}
+
+// equivSide is one side's observables: the air fingerprint and the
+// per-member pricing inputs, indexed by member.
+type equivSide struct {
+	fp       uint64
+	frames   int
+	arrivals [][]energy.Arrival
+	stats    []station.Stats
+}
+
+// runEquivSide replays the trace against a population of size
+// stations, modeled as one exact cohort (cohort true) or as size
+// individual stations, and collects the observables.
+func runEquivSide(tr *trace.Trace, kind policy.Kind, open []uint16, cfg EquivConfig, size int, cohort bool) (*equivSide, error) {
+	mode, err := modeFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	ncfg := core.NetworkConfig{
+		DTIMPeriod: 1,
+		HIDE:       kind == policy.HIDE,
+		Seed:       cfg.Seed,
+	}
+	if cfg.Fault != nil {
+		ncfg.Fault = cfg.Fault()
+	}
+	n, err := core.NewNetwork(ncfg)
+	if err != nil {
+		return nil, err
+	}
+	d := newAirDigest()
+	n.Medium.SetTap(d.tap)
+
+	var c *station.CohortStation
+	var sts []*station.Station
+	if cohort {
+		if c, err = n.AddCohort(mode, open, size, 1); err != nil {
+			return nil, err
+		}
+		if c.Aggregate() {
+			return nil, fmt.Errorf("check: cohort of %d fell out of the exact regime", size)
+		}
+	} else {
+		for i := 0; i < size; i++ {
+			st, err := n.AddStationDirect(mode, open, 1)
+			if err != nil {
+				return nil, err
+			}
+			sts = append(sts, st)
+		}
+	}
+	if err := n.Replay(tr); err != nil {
+		return nil, err
+	}
+
+	side := &equivSide{fp: d.h.Sum64(), frames: d.frames}
+	if cohort {
+		// Handshake-timeout divergence may have split the cohort into
+		// segments (member order preserved); one shared log stands for
+		// every member of a segment — that identity is the claim under
+		// test, so it is expanded here and compared per member.
+		segs, total := c.Segments(), 0
+		for _, s := range segs {
+			total += s.Count()
+		}
+		if total != size {
+			return nil, fmt.Errorf("check: cohort segments cover %d of %d members", total, size)
+		}
+		for _, s := range segs {
+			arr, st := s.Arrivals(), s.MemberStats()
+			for i := 0; i < s.Count(); i++ {
+				side.arrivals = append(side.arrivals, arr)
+				side.stats = append(side.stats, st)
+			}
+		}
+	} else {
+		for _, st := range sts {
+			side.arrivals = append(side.arrivals, st.Arrivals())
+			side.stats = append(side.stats, st.Stats())
+		}
+	}
+	return side, nil
+}
+
+// EquivResult is one compared cell. Mismatch is empty when the cohort
+// reproduced the expanded run exactly, otherwise it names the first
+// observable that diverged.
+type EquivResult struct {
+	Cell EquivCell
+	// Frames is the number of frames both sides put on air.
+	Frames int
+	// Mismatch names the first diverging observable ("" = exact).
+	Mismatch string
+}
+
+// OK reports whether the cell was exact.
+func (r EquivResult) OK() bool { return r.Mismatch == "" }
+
+// RunEquivCell runs one cohort-equivalence comparison.
+func RunEquivCell(c EquivCell, cfg EquivConfig) (EquivResult, error) {
+	cfg = cfg.normalized()
+	if c.Size < 1 {
+		return EquivResult{}, fmt.Errorf("check: equivalence size %d < 1", c.Size)
+	}
+	tr, err := oracleTrace(c.Scenario, cfg.Seed, cfg.Duration)
+	if err != nil {
+		return EquivResult{}, err
+	}
+	open := sortedPorts(trace.OpenPortsForFraction(tr, cfg.UsefulTarget))
+
+	coh, err := runEquivSide(tr, c.Policy, open, cfg, c.Size, true)
+	if err != nil {
+		return EquivResult{}, fmt.Errorf("check: %v cohort side: %w", c, err)
+	}
+	exp, err := runEquivSide(tr, c.Policy, open, cfg, c.Size, false)
+	if err != nil {
+		return EquivResult{}, fmt.Errorf("check: %v expanded side: %w", c, err)
+	}
+
+	res := EquivResult{Cell: c, Frames: exp.frames}
+	res.Mismatch = diffSides(coh, exp, c.Size, cfg, tr.Duration+dot11.DefaultBeaconInterval)
+	return res, nil
+}
+
+// diffSides compares every observable and names the first divergence.
+func diffSides(coh, exp *equivSide, size int, cfg EquivConfig, window time.Duration) string {
+	if coh.frames != exp.frames {
+		return fmt.Sprintf("frame count: cohort %d, expanded %d", coh.frames, exp.frames)
+	}
+	if coh.fp != exp.fp {
+		return fmt.Sprintf("frame-stream fingerprint: cohort %016x, expanded %016x", coh.fp, exp.fp)
+	}
+	for i := 0; i < size; i++ {
+		if coh.stats[i] != exp.stats[i] {
+			return fmt.Sprintf("member %d stats: cohort %+v, expanded %+v", i, coh.stats[i], exp.stats[i])
+		}
+		if d := diffArrivals(coh.arrivals[i], exp.arrivals[i]); d != "" {
+			return fmt.Sprintf("member %d %s", i, d)
+		}
+		for _, dev := range cfg.Devices {
+			cb, err := energy.Compute(coh.arrivals[i], energy.Config{Device: dev, Duration: window, BeaconListenInterval: 1})
+			if err != nil {
+				return fmt.Sprintf("member %d cohort energy: %v", i, err)
+			}
+			eb, err := energy.Compute(exp.arrivals[i], energy.Config{Device: dev, Duration: window, BeaconListenInterval: 1})
+			if err != nil {
+				return fmt.Sprintf("member %d expanded energy: %v", i, err)
+			}
+			if cb != eb {
+				return fmt.Sprintf("member %d %s energy: cohort %+v, expanded %+v", i, dev.Name, cb, eb)
+			}
+		}
+	}
+	return ""
+}
+
+// diffArrivals compares two arrival logs entry by entry.
+func diffArrivals(a, b []energy.Arrival) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("arrival count: cohort %d, expanded %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("arrival %d: cohort %+v, expanded %+v", i, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+// EquivMatrix is the cohort-equivalence sweep.
+type EquivMatrix struct {
+	Policies  []policy.Kind
+	Scenarios []trace.Scenario
+	Sizes     []int
+	Config    EquivConfig
+}
+
+// DefaultEquivMatrix covers the acceptance grid: the three compared
+// policies × three scenario traces spanning the load range (Starbucks
+// lightest, Classroom heaviest) × cohort sizes 1, 7, and 64.
+func DefaultEquivMatrix() EquivMatrix {
+	return EquivMatrix{
+		Policies:  []policy.Kind{policy.ReceiveAll, policy.ClientSide, policy.HIDE},
+		Scenarios: []trace.Scenario{trace.Classroom, trace.Starbucks, trace.WRL},
+		Sizes:     []int{1, 7, 64},
+	}
+}
+
+// EquivMatrixResult collects every cell of a sweep.
+type EquivMatrixResult struct {
+	Results []EquivResult
+}
+
+// RunContext executes the sweep, fanning cells over the worker pool
+// configured by Config.Workers; the cell order (policy-major, then
+// scenario, then size) is identical for any worker count.
+func (m EquivMatrix) RunContext(ctx context.Context) (*EquivMatrixResult, error) {
+	cfg := m.Config.normalized()
+	var cells []EquivCell
+	for _, kind := range m.Policies {
+		for _, sc := range m.Scenarios {
+			for _, size := range m.Sizes {
+				cells = append(cells, EquivCell{Policy: kind, Scenario: sc, Size: size})
+			}
+		}
+	}
+	res, err := engine.Map(ctx, cfg.Workers, len(cells), func(ctx context.Context, i int) (EquivResult, error) {
+		if err := ctx.Err(); err != nil {
+			return EquivResult{}, err
+		}
+		return RunEquivCell(cells[i], cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &EquivMatrixResult{Results: res}, nil
+}
+
+// Run executes the sweep with a background context.
+func (m EquivMatrix) Run() (*EquivMatrixResult, error) {
+	return m.RunContext(context.Background())
+}
+
+// Failures returns the cells whose cohort diverged from the expanded
+// population.
+func (r *EquivMatrixResult) Failures() []EquivResult {
+	var out []EquivResult
+	for _, c := range r.Results {
+		if !c.OK() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Err returns nil when every cell was exact, otherwise an error naming
+// the diverging cells.
+func (r *EquivMatrixResult) Err() error {
+	fails := r.Failures()
+	if len(fails) == 0 {
+		return nil
+	}
+	names := make([]string, len(fails))
+	for i, f := range fails {
+		names[i] = fmt.Sprintf("%v (%s)", f.Cell, f.Mismatch)
+	}
+	return fmt.Errorf("check: %d/%d equivalence cells diverged: %v", len(fails), len(r.Results), names)
+}

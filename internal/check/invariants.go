@@ -91,6 +91,9 @@ func (inv *Invariants) Watch(n *core.Network) {
 	for _, st := range n.Stations() {
 		inv.WatchStation(st)
 	}
+	for _, c := range n.Cohorts() {
+		inv.WatchStation(c.Template())
+	}
 }
 
 // WatchAP installs the AP beacon observer and the per-event

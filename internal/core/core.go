@@ -81,6 +81,11 @@ type Options struct {
 	// entry points: 0 selects runtime.GOMAXPROCS(0), 1 forces the
 	// sequential path. The output is identical either way.
 	Workers int
+	// Cohort caps the number of clients folded into one cohort station
+	// in scaling runs (ScaleClientsOptions): 0 or 1 models every client
+	// individually, larger values chunk each port class into cohorts of
+	// at most Cohort members, enabling 10⁵–10⁶ client populations.
+	Cohort int
 }
 
 // WithSeed returns a copy of o selecting the tagging seed explicitly

@@ -26,11 +26,14 @@ type Network struct {
 	BSSID   dot11.MACAddr
 	SSID    string
 	entries []netEntry
+	cohorts []*station.CohortStation
 	monitor *Monitor
 
 	seed        uint64
 	harden      bool
 	portRefresh time.Duration // station-side TTL refresh cadence when hardened
+	used        int           // station MAC addresses consumed (cohort members included)
+	aidsUsed    int           // AIDs the attached stations will consume once associated
 }
 
 // netEntry pairs a station with its configuration.
@@ -205,16 +208,21 @@ func (n *Network) StationEnergy(st *station.Station, dev energy.Profile, duratio
 	return energy.Compute(st.Arrivals(), cfg)
 }
 
-// AddStationListenInterval is AddStation with an 802.11 listen
-// interval: the station's radio wakes only for every li-th beacon.
-func (n *Network) AddStationListenInterval(mode station.Mode, openPorts []uint16, li int) (*station.Station, error) {
-	idx := len(n.entries) + 1
-	if idx > int(dot11.MaxAID) {
-		return nil, fmt.Errorf("core: association space exhausted")
+// stationBase anchors the station MAC address space: station (or
+// cohort member) number idx — 1-based — lives at AddrAdd(stationBase,
+// idx), which reproduces the historical {0x02,0x1d,0xe0,0x01,hi,lo}
+// layout for the first 65535 stations and extends it contiguously
+// through the 24-bit block for million-member cohorts.
+var stationBase = dot11.MACAddr{0x02, 0x1d, 0xe0, 0x01, 0x00, 0x00}
+
+// stationConfig assembles the station.Config for the idx-th station
+// address, applying the network's hardening knobs.
+func (n *Network) stationConfig(idx int, mode station.Mode, li int) (station.Config, error) {
+	if idx+0x010000 >= dot11.MaxAddrBlock {
+		return station.Config{}, fmt.Errorf("core: station address space exhausted")
 	}
-	addr := dot11.MACAddr{0x02, 0x1d, 0xe0, 0x01, byte(idx >> 8), byte(idx)}
 	scfg := station.Config{
-		Addr:           addr,
+		Addr:           dot11.AddrAdd(stationBase, idx),
 		BSSID:          n.BSSID,
 		Mode:           mode,
 		ListenInterval: li,
@@ -224,11 +232,138 @@ func (n *Network) AddStationListenInterval(mode station.Mode, openPorts []uint16
 		scfg.PortRefresh = n.portRefresh
 		scfg.MissedBeaconFailSafe = true
 	}
+	return scfg, nil
+}
+
+// AddStationListenInterval is AddStation with an 802.11 listen
+// interval: the station's radio wakes only for every li-th beacon.
+func (n *Network) AddStationListenInterval(mode station.Mode, openPorts []uint16, li int) (*station.Station, error) {
+	if n.aidsUsed+1 > int(dot11.MaxAID) {
+		return nil, fmt.Errorf("core: association space exhausted")
+	}
+	scfg, err := n.stationConfig(n.used+1, mode, li)
+	if err != nil {
+		return nil, err
+	}
 	st := station.New(n.Engine, n.Medium, scfg)
 	for _, p := range openPorts {
 		st.OpenPort(p)
 	}
 	st.StartAssociation(n.SSID)
-	n.entries = append(n.entries, netEntry{st: st, addr: addr, mode: mode})
+	n.used++
+	n.aidsUsed++
+	n.entries = append(n.entries, netEntry{st: st, addr: scfg.Addr, mode: mode})
 	return st, nil
+}
+
+// AddStationDirect is AddStationListenInterval minus the frame-level
+// association exchange: the AP assigns the AID out of band and the
+// station Joins immediately, exactly mirroring how cohorts associate —
+// the equivalence suite uses it so both sides of the cohort-vs-
+// expanded comparison share the same join path.
+func (n *Network) AddStationDirect(mode station.Mode, openPorts []uint16, li int) (*station.Station, error) {
+	scfg, err := n.stationConfig(n.used+1, mode, li)
+	if err != nil {
+		return nil, err
+	}
+	st := station.New(n.Engine, n.Medium, scfg)
+	for _, p := range openPorts {
+		st.OpenPort(p)
+	}
+	aid, err := n.AP.Associate(scfg.Addr, mode == station.HIDE)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Join(aid); err != nil {
+		return nil, err
+	}
+	n.used++
+	n.aidsUsed++
+	n.entries = append(n.entries, netEntry{st: st, addr: scfg.Addr, mode: mode})
+	return st, nil
+}
+
+// AddCohort attaches count identical stations as one scheduled entity
+// (station.CohortStation) and picks the representation regime
+// automatically: while the whole cohort fits the free AID space every
+// member is associated individually on a contiguous AID block and the
+// cohort is exact — byte-identical frames, bit-identical energy —
+// otherwise the cohort aggregates behind a single association
+// (ap.AssociateAggregate), the regime the 10⁵–10⁶ client runs use.
+func (n *Network) AddCohort(mode station.Mode, openPorts []uint16, count, li int) (*station.CohortStation, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("core: cohort count %d < 1", count)
+	}
+	scfg, err := n.stationConfig(n.used+1, mode, li)
+	if err != nil {
+		return nil, err
+	}
+	if n.used+count+0x010000 > dot11.MaxAddrBlock {
+		return nil, fmt.Errorf("core: cohort of %d exceeds the station address space", count)
+	}
+	exact := count <= n.AP.FreeAIDs() && n.aidsUsed+count <= int(dot11.MaxAID)
+	c, err := station.NewCohort(n.Engine, n.Medium, station.CohortConfig{
+		Config:    scfg,
+		Count:     count,
+		Aggregate: !exact,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range openPorts {
+		c.OpenPort(p)
+	}
+	var first dot11.AID
+	if exact {
+		first, err = n.AP.AssociateCohort(scfg.Addr, count, mode == station.HIDE)
+		n.aidsUsed += count
+	} else {
+		first, err = n.AP.AssociateAggregate(scfg.Addr, count, mode == station.HIDE)
+		n.aidsUsed++
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := c.JoinBlock(first); err != nil {
+		return nil, err
+	}
+	n.used += count
+	n.cohorts = append(n.cohorts, c)
+	return c, nil
+}
+
+// Cohorts returns the attached cohorts in attachment order (splits
+// performed by the medium or by CohortStation.Split are not re-listed;
+// query each cohort's Count for its current width).
+func (n *Network) Cohorts() []*station.CohortStation {
+	return append([]*station.CohortStation(nil), n.cohorts...)
+}
+
+// Members returns the number of stations the network models, counting
+// every cohort with its multiplicity.
+func (n *Network) Members() int {
+	m := len(n.entries)
+	for _, c := range n.cohorts {
+		m += c.Count()
+	}
+	return m
+}
+
+// CohortEnergy evaluates the Section IV model over one cohort member's
+// arrivals and returns both the per-member breakdown and the
+// cohort-wide aggregate (per-member scaled by the cohort's count).
+func (n *Network) CohortEnergy(c *station.CohortStation, dev energy.Profile, duration time.Duration, withOverhead bool) (member, total energy.Breakdown, err error) {
+	cfg := energy.Config{
+		Device:               dev,
+		Duration:             duration,
+		BeaconListenInterval: c.ListenInterval(),
+	}
+	if withOverhead {
+		cfg.Overhead = energy.DefaultOverhead()
+	}
+	member, err = energy.Compute(c.Arrivals(), cfg)
+	if err != nil {
+		return energy.Breakdown{}, energy.Breakdown{}, err
+	}
+	return member, member.Scale(c.Count()), nil
 }

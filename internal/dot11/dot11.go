@@ -33,6 +33,44 @@ func (a MACAddr) IsBroadcast() bool { return a == Broadcast }
 // IsMulticast reports whether the group bit is set (includes broadcast).
 func (a MACAddr) IsMulticast() bool { return a[0]&0x01 != 0 }
 
+// addrBlockBits is the width of the member-index space inside a MAC
+// address block: the low three octets, treated as a big-endian counter.
+const addrBlockBits = 24
+
+// MaxAddrBlock is the largest member count an address block can carry
+// without the low-octet counter wrapping into the OUI.
+const MaxAddrBlock = 1 << addrBlockBits
+
+// AddrAdd returns the i-th address of the block starting at base: the
+// low three octets act as a 24-bit big-endian counter, the top three
+// (the OUI) are untouched. Cohort stations derive member addresses this
+// way, so a block of N members occupies N consecutive addresses.
+func AddrAdd(base MACAddr, i int) MACAddr {
+	v := uint32(base[3])<<16 | uint32(base[4])<<8 | uint32(base[5])
+	v += uint32(i)
+	base[3] = byte(v >> 16)
+	base[4] = byte(v >> 8)
+	base[5] = byte(v)
+	return base
+}
+
+// AddrOffset returns the index addr would occupy in a block based at
+// base (AddrAdd(base, off) == addr), or ok=false when the top octets
+// differ or addr precedes base. The offset is computed in the 24-bit
+// counter space, so it is only meaningful against a block that does not
+// wrap (see MaxAddrBlock).
+func AddrOffset(base, addr MACAddr) (off int, ok bool) {
+	if base[0] != addr[0] || base[1] != addr[1] || base[2] != addr[2] {
+		return 0, false
+	}
+	b := uint32(base[3])<<16 | uint32(base[4])<<8 | uint32(base[5])
+	a := uint32(addr[3])<<16 | uint32(addr[4])<<8 | uint32(addr[5])
+	if a < b {
+		return 0, false
+	}
+	return int(a - b), true
+}
+
 // AID is an 802.11 Association ID assigned by an AP to a client.
 // Valid AIDs are 1..2007; 0 is reserved (and used by the TIM bitmap's
 // broadcast bit position).

@@ -141,6 +141,27 @@ type Breakdown struct {
 // TotalJ returns E of Eq. 2.
 func (b Breakdown) TotalJ() float64 { return b.EbJ + b.EfJ + b.EwlJ + b.EstJ + b.EoJ }
 
+// Scale returns the breakdown for n stations that each accrued exactly
+// b — the cohort aggregation step. Energies and event counts multiply;
+// the per-station ratios (SuspendFraction, Duration, and therefore
+// AvgPowerW) are intensive and stay put. Each component is a single
+// float64 multiply, so Scale(n) is bit-identical to what IEEE-754
+// summation of n identical addends would round to only when n is a
+// power of two; the cohort equivalence contract therefore compares
+// per-member breakdowns, and Scale is the reporting convenience.
+func (b Breakdown) Scale(n int) Breakdown {
+	f := float64(n)
+	b.EbJ *= f
+	b.EfJ *= f
+	b.EwlJ *= f
+	b.EstJ *= f
+	b.EoJ *= f
+	b.Received *= n
+	b.Resumes *= n
+	b.AbortedSuspends *= n
+	return b
+}
+
 // AvgPowerW returns the average power over the window in watts — the
 // y-axis of Figures 7 and 8.
 func (b Breakdown) AvgPowerW() float64 {

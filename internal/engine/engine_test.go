@@ -140,6 +140,40 @@ func TestMapCancellation(t *testing.T) {
 	}
 }
 
+// TestMapCancelMidReduction: cancellation that lands while the final
+// cell of the reduction is still in flight must not discard work — Map
+// reports context.Canceled, but every cell that completed keeps its
+// value in the returned slice, at both worker counts the equivalence
+// grid runs with.
+func TestMapCancelMidReduction(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 64
+		var started atomic.Int64
+		out, err := Map(ctx, workers, n, func(_ context.Context, i int) (int, error) {
+			if started.Add(1) == n {
+				// The last cell cancels mid-flight: everything else has
+				// at least started, and a started cell always finishes
+				// (cancellation is only observed between cells).
+				cancel()
+			}
+			return i + 1, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := started.Load(); got != n {
+			t.Fatalf("workers=%d: %d of %d cells ran", workers, got, n)
+		}
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d — completed value lost to cancellation", workers, i, v, i+1)
+			}
+		}
+		cancel()
+	}
+}
+
 // TestMapPreCancelled: a context cancelled before the call runs no
 // cells at all (workers=1) and returns context.Canceled.
 func TestMapPreCancelled(t *testing.T) {

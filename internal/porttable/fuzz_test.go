@@ -1,0 +1,94 @@
+package porttable
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dot11"
+)
+
+// FuzzCohortOrListeners fuzzes the cohort count arithmetic behind BTIM
+// pricing: a block entry of count members must be indistinguishable —
+// through OrListeners (Algorithm 1's hot path), ListenerCount,
+// Listening, and Members — from the same block split into two entries
+// at an arbitrary interior point. The harness clamps the random inputs
+// into the AID regimes the AP can actually create (sequential
+// allocation, blocks clamped at dot11.MaxAID, counts far beyond the
+// AID space in the aggregate regime) and then requires exact agreement,
+// so any overflow, wraparound, or off-by-one in blockEnd/updateBlock
+// shows up as a divergence.
+func FuzzCohortOrListeners(f *testing.F) {
+	f.Add(uint16(1), 7, 3, uint16(5353))
+	f.Add(uint16(2000), 100, 10, uint16(53))       // block clamps at MaxAID
+	f.Add(uint16(1), 1_000_000, 2006, uint16(443)) // count beyond the AID space
+	f.Add(uint16(900), 64, 1, uint16(0))
+	f.Add(uint16(2006), 2, 1, uint16(65535))
+	f.Fuzz(func(t *testing.T, base16 uint16, count, split int, port uint16) {
+		// Normalize into the allocator's regime: a valid base AID, a
+		// multi-member count, and an interior split whose tail base
+		// still fits the AID space (the sequential allocator never
+		// hands out a block base past MaxAID).
+		base := dot11.AID(base16%uint16(dot11.MaxAID)) + 1
+		if count < 2 {
+			count = 2
+		}
+		if count > 1<<21 {
+			count = count%(1<<21) + 2
+		}
+		k := split % (count - 1)
+		if k < 0 {
+			k = -k
+		}
+		k++ // 1..count-1
+		if k > int(dot11.MaxAID)-1 {
+			k = int(dot11.MaxAID) - 1
+		}
+		if int64(base)+int64(k) > int64(dot11.MaxAID) {
+			base = dot11.AID(int64(dot11.MaxAID) - int64(k))
+		}
+
+		ports := []uint16{port, 5353}
+		now := 3 * time.Second
+		whole := New()
+		if err := whole.UpdateCohortAt(base, count, ports, now); err != nil {
+			t.Fatalf("whole block (%d,%d): %v", base, count, err)
+		}
+		halves := New()
+		if err := halves.UpdateCohortAt(base, k, ports, now); err != nil {
+			t.Fatalf("head (%d,%d): %v", base, k, err)
+		}
+		tail := base + dot11.AID(k)
+		if err := halves.UpdateCohortAt(tail, count-k, ports, now); err != nil {
+			t.Fatalf("tail (%d,%d): %v", tail, count-k, err)
+		}
+
+		if w, h := whole.Members(), halves.Members(); w != h {
+			t.Fatalf("Members: whole %d, halves %d", w, h)
+		}
+		for _, p := range []uint16{port, 5353, port + 1} {
+			var wb, hb dot11.VirtualBitmap
+			wany := whole.OrListeners(p, &wb)
+			hany := halves.OrListeners(p, &hb)
+			if wany != hany {
+				t.Fatalf("OrListeners(%d): whole %v, halves %v", p, wany, hany)
+			}
+			if !wb.Equal(&hb) {
+				t.Fatalf("OrListeners(%d): bitmaps differ (whole %d bits, halves %d bits)", p, wb.Count(), hb.Count())
+			}
+			if w, h := whole.ListenerCount(p), halves.ListenerCount(p); w != h {
+				t.Fatalf("ListenerCount(%d): whole %d, halves %d", p, w, h)
+			}
+			samples := []int64{1, int64(base), int64(base) + 1, int64(tail),
+				int64(tail) + 1, int64(blockEnd(base, count)), int64(dot11.MaxAID)}
+			for _, a := range samples {
+				if a < 1 || a > int64(dot11.MaxAID) {
+					continue
+				}
+				aid := dot11.AID(a)
+				if w, h := whole.Listening(p, aid), halves.Listening(p, aid); w != h {
+					t.Fatalf("Listening(%d, %d): whole %v, halves %v", p, aid, w, h)
+				}
+			}
+		}
+	})
+}

@@ -28,8 +28,15 @@ type Table struct {
 	portBits  map[uint16]*dot11.VirtualBitmap // reverse index: port → listener AID bitmap
 	byClient  map[dot11.AID][]uint16
 	refreshed map[dot11.AID]time.Duration
-	gen       uint64 // bumped on every mutation; lets callers cache derived state
-	ops       OpCounts
+	// counts carries the multiplicity of cohort entries (absent = 1):
+	// an entry at aid with count c stands for the contiguous AID block
+	// [aid, aid+c), whose bits are materialized into portBits at update
+	// time so OrListeners stays a single OR. Blocks must not overlap
+	// any other registration — the AP's sequential AID allocator
+	// guarantees that.
+	counts map[dot11.AID]int
+	gen    uint64 // bumped on every mutation; lets callers cache derived state
+	ops    OpCounts
 }
 
 // OpCounts tallies table operations, feeding the delay model.
@@ -46,6 +53,7 @@ func New() *Table {
 		portBits:  make(map[uint16]*dot11.VirtualBitmap),
 		byClient:  make(map[dot11.AID][]uint16),
 		refreshed: make(map[dot11.AID]time.Duration),
+		counts:    make(map[dot11.AID]int),
 	}
 }
 
@@ -61,6 +69,29 @@ func (t *Table) init() {
 	if t.refreshed == nil {
 		t.refreshed = make(map[dot11.AID]time.Duration)
 	}
+	if t.counts == nil {
+		t.counts = make(map[dot11.AID]int)
+	}
+}
+
+// countOf returns the multiplicity of a client entry (1 for
+// individually-registered clients).
+func (t *Table) countOf(aid dot11.AID) int {
+	if c, ok := t.counts[aid]; ok {
+		return c
+	}
+	return 1
+}
+
+// blockEnd returns the last AID of an entry's block that fits the
+// bitmap space; members past dot11.MaxAID have no bit (they exist only
+// through the entry's count — see ListenerCount).
+func blockEnd(aid dot11.AID, count int) dot11.AID {
+	hi := int64(aid) + int64(count) - 1
+	if hi > int64(dot11.MaxAID) {
+		hi = int64(dot11.MaxAID)
+	}
+	return dot11.AID(hi)
 }
 
 // Gen returns the table's mutation generation: it changes whenever the
@@ -82,15 +113,38 @@ func (t *Table) Update(aid dot11.AID, ports []uint16) {
 // (see ExpireBefore) restarts at now. The AP stamps the virtual
 // arrival time of the UDP Port Message that carried the refresh.
 func (t *Table) UpdateAt(aid dot11.AID, ports []uint16, now time.Duration) {
+	t.updateBlock(aid, 1, ports, now)
+}
+
+// UpdateCohortAt is UpdateAt for a cohort entry: the client at aid
+// stands for count stations occupying the contiguous AID block
+// [aid, aid+count). Every block bit that fits the AID space is
+// materialized into the reverse index, so Algorithm 1's OrListeners
+// needs no cohort awareness, and the entry prices as ONE refresh in
+// the delay model — that constancy is the cohort scaling win.
+func (t *Table) UpdateCohortAt(aid dot11.AID, count int, ports []uint16, now time.Duration) error {
+	if count < 1 {
+		return fmt.Errorf("porttable: cohort count %d < 1", count)
+	}
+	t.updateBlock(aid, count, ports, now)
+	return nil
+}
+
+// updateBlock replaces the port set for a (possibly multi-member)
+// client entry. count == 1 is exactly the historical UpdateAt path.
+func (t *Table) updateBlock(aid dot11.AID, count int, ports []uint16, now time.Duration) {
 	t.init()
 	if len(t.byClient[aid]) > 0 || len(ports) > 0 {
 		t.gen++
 	}
+	oldEnd := blockEnd(aid, t.countOf(aid))
 	for _, p := range t.byClient[aid] {
 		if set := t.byPort[p]; set != nil {
 			delete(set, aid)
 			if bits := t.portBits[p]; bits != nil {
-				bits.Clear(aid)
+				for a := aid; a <= oldEnd; a++ {
+					bits.Clear(a)
+				}
 			}
 			if len(set) == 0 {
 				delete(t.byPort, p)
@@ -101,10 +155,12 @@ func (t *Table) UpdateAt(aid dot11.AID, ports []uint16, now time.Duration) {
 	}
 	delete(t.byClient, aid)
 	delete(t.refreshed, aid)
+	delete(t.counts, aid)
 
 	if len(ports) == 0 {
 		return
 	}
+	end := blockEnd(aid, count)
 	uniq := make([]uint16, 0, len(ports))
 	seen := make(map[uint16]struct{}, len(ports))
 	for _, p := range ports {
@@ -124,11 +180,16 @@ func (t *Table) UpdateAt(aid dot11.AID, ports []uint16, now time.Duration) {
 			bits = new(dot11.VirtualBitmap)
 			t.portBits[p] = bits
 		}
-		bits.Set(aid)
+		for a := aid; a <= end; a++ {
+			bits.Set(a)
+		}
 		t.ops.Inserts++
 	}
 	t.byClient[aid] = uniq
 	t.refreshed[aid] = now
+	if count > 1 {
+		t.counts[aid] = count
+	}
 }
 
 // Remove drops every entry for a client (disassociation).
@@ -193,10 +254,47 @@ func (t *Table) OrListeners(port uint16, dst *dot11.VirtualBitmap) bool {
 	return true
 }
 
-// Listening reports whether the client has the port open.
+// Listening reports whether the client has the port open. A cohort
+// entry answers for every member AID in its block.
 func (t *Table) Listening(port uint16, aid dot11.AID) bool {
-	_, ok := t.byPort[port][aid]
-	return ok
+	if _, ok := t.byPort[port][aid]; ok {
+		return ok
+	}
+	// Block entries never overlap (AIDs are allocated sequentially), so
+	// at most one covers the AID; the full scan keeps the answer
+	// independent of map iteration order.
+	open := false
+	for base, c := range t.counts {
+		if aid >= base && int(aid-base) < c {
+			if _, ok := t.byPort[port][base]; ok {
+				open = true
+			}
+		}
+	}
+	return open
+}
+
+// ListenerCount returns the number of stations listening on port,
+// counting each cohort entry with its multiplicity.
+func (t *Table) ListenerCount(port uint16) int {
+	n := 0
+	for aid := range t.byPort[port] {
+		n += t.countOf(aid)
+	}
+	return n
+}
+
+// Members returns the number of stations the table's entries stand
+// for, counting each cohort entry with its multiplicity (compare
+// Clients, which counts entries).
+func (t *Table) Members() int {
+	n := len(t.byClient)
+	for aid, c := range t.counts {
+		if _, ok := t.byClient[aid]; ok {
+			n += c - 1
+		}
+	}
+	return n
 }
 
 // Ports returns the client's current open ports (the stored copy is

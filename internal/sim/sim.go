@@ -44,6 +44,7 @@ type Hook func(now time.Duration)
 type item struct {
 	at    time.Duration
 	seq   uint64 // insertion order, breaks ties deterministically
+	sub   uint64 // sub-slot within seq (slot-mirrored events), 0 normally
 	gen   uint64 // recycle generation, guards stale Handles
 	fn    Event
 	argFn ArgEvent
@@ -80,6 +81,30 @@ func (h Handle) Cancel() bool {
 // Pending reports whether the event has neither fired nor been cancelled.
 func (h Handle) Pending() bool { return h.live() && !h.it.done }
 
+// Slot identifies an event's position within its instant's firing
+// order. An entity standing for many identical members (a cohort)
+// schedules one event at a normal slot; when members peel off, each
+// mirrors the pending event at the source's slot offset by its member
+// index, so same-instant firing follows member order no matter what
+// order — or how late — the members were carved off.
+type Slot struct {
+	seq, sub uint64
+}
+
+// Offset returns the slot k sub-positions after s. Distinct offsets
+// from one source slot order deterministically; reusing an offset
+// leaves the tied events' relative order unspecified.
+func (s Slot) Offset(k int) Slot { return Slot{seq: s.seq, sub: s.sub + uint64(k)} }
+
+// Slot returns the pending event's firing slot. The second result is
+// false once the event has fired or been cancelled.
+func (h Handle) Slot() (Slot, bool) {
+	if !h.live() || h.it.done {
+		return Slot{}, false
+	}
+	return Slot{seq: h.it.seq, sub: h.it.sub}, true
+}
+
 // At returns the virtual time the event is scheduled for, or zero once
 // the event has fired or been cancelled and its slot recycled.
 func (h Handle) At() time.Duration {
@@ -89,7 +114,7 @@ func (h Handle) At() time.Duration {
 	return h.it.at
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
+// eventQueue implements heap.Interface ordered by (at, seq, sub).
 type eventQueue []*item
 
 func (q eventQueue) Len() int { return len(q) }
@@ -98,7 +123,10 @@ func (q eventQueue) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
-	return q[i].seq < q[j].seq
+	if q[i].seq != q[j].seq {
+		return q[i].seq < q[j].seq
+	}
+	return q[i].sub < q[j].sub
 }
 
 func (q eventQueue) Swap(i, j int) {
@@ -191,12 +219,40 @@ func (e *Engine) schedule(at time.Duration, fn Event, argFn ArgEvent, arg any) (
 	it := e.alloc()
 	it.at = at
 	it.seq = e.seq
+	it.sub = 0
 	it.fn = fn
 	it.argFn = argFn
 	it.arg = arg
 	e.seq++
 	heap.Push(&e.queue, it)
 	return Handle{it: it, gen: it.gen}, nil
+}
+
+// ScheduleAtSlot schedules fn at absolute virtual time at, firing in
+// slot order instead of insertion order among same-instant events. The
+// slot should come from a pending event's Handle.Slot plus a distinct
+// Offset; the event fires after that source event and before anything
+// the source precedes.
+func (e *Engine) ScheduleAtSlot(at time.Duration, slot Slot, fn Event) (Handle, error) {
+	if at < e.now {
+		return Handle{}, fmt.Errorf("%w: at=%v now=%v", ErrSchedulePast, at, e.now)
+	}
+	it := e.alloc()
+	it.at = at
+	it.seq = slot.seq
+	it.sub = slot.sub
+	it.fn = fn
+	heap.Push(&e.queue, it)
+	return Handle{it: it, gen: it.gen}, nil
+}
+
+// MustScheduleAtSlot is ScheduleAtSlot but panics on error.
+func (e *Engine) MustScheduleAtSlot(at time.Duration, slot Slot, fn Event) Handle {
+	h, err := e.ScheduleAtSlot(at, slot, fn)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // ScheduleAt schedules fn to run at absolute virtual time at.

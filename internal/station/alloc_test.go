@@ -1,0 +1,96 @@
+package station
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/dot11"
+	"repro/internal/medium"
+	"repro/internal/sim"
+)
+
+// cohortRig assembles an engine, medium, HIDE AP, and one associated,
+// joined cohort of count members, run long enough to complete the port
+// handshake and suspend.
+func cohortRig(t *testing.T, count int) (*sim.Engine, *CohortStation) {
+	t.Helper()
+	eng := sim.New()
+	med := medium.New(eng, dot11.DefaultPHY(), 7)
+	a := ap.New(eng, med, ap.Config{BSSID: bssid, SSID: "t", HIDE: true, DTIMPeriod: 1})
+	c, err := NewCohort(eng, med, CohortConfig{
+		Config: Config{
+			Addr:  dot11.MACAddr{2, 0, 0, 0, 1, 0},
+			BSSID: bssid,
+			Mode:  HIDE,
+		},
+		Count: count,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.OpenPort(5353)
+	first, err := a.AssociateCohort(c.BaseAddr(), count, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.JoinBlock(first); err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	eng.RunUntil(2 * time.Second)
+	if !c.Suspended() {
+		t.Fatal("cohort not suspended after handshake")
+	}
+	return eng, c
+}
+
+// TestAllocBudgetCohortAsleepReceive pins the cohort hot path at scale:
+// a group data frame arriving while the members sleep (the overwhelming
+// majority of deliveries in a million-client run) must cost ZERO
+// allocations — the radio drops it in PS mode without touching the
+// heap, so folding 10⁶ members into one node keeps event cost flat.
+func TestAllocBudgetCohortAsleepReceive(t *testing.T) {
+	eng, c := cohortRig(t, 64)
+	frame := (&dot11.DataFrame{
+		Header: dot11.MACHeader{
+			FC:    dot11.FrameControl{FromDS: true},
+			Addr1: dot11.Broadcast, Addr2: bssid, Addr3: bssid,
+		},
+		Payload: dot11.EncapsulateUDP(dot11.UDPDatagram{DstPort: 9999, Payload: make([]byte, 160)}),
+	}).Marshal()
+	now := eng.Now()
+	for i := 0; i < 8; i++ {
+		c.Receive(frame, dot11.Rate11Mbps, now)
+	}
+	if c.Count() != 64 {
+		t.Fatalf("warm-up split the cohort to %d members", c.Count())
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Receive(frame, dot11.Rate11Mbps, now)
+	})
+	if allocs != 0 {
+		t.Fatalf("asleep group receive: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocBudgetCohortRoutedReceive covers the same path through the
+// medium's routed hand-off (ReceiveAs), which the emulated Medium
+// always prefers for block nodes.
+func TestAllocBudgetCohortRoutedReceive(t *testing.T) {
+	eng, c := cohortRig(t, 64)
+	frame := (&dot11.DataFrame{
+		Header: dot11.MACHeader{
+			FC:    dot11.FrameControl{FromDS: true},
+			Addr1: dot11.Broadcast, Addr2: bssid, Addr3: bssid,
+		},
+		Payload: dot11.EncapsulateUDP(dot11.UDPDatagram{DstPort: 9999, Payload: make([]byte, 160)}),
+	}).Marshal()
+	now := eng.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		c.ReceiveAs(dot11.Broadcast, frame, dot11.Rate11Mbps, now)
+	})
+	if allocs != 0 {
+		t.Fatalf("routed asleep receive: %.1f allocs/op, want 0", allocs)
+	}
+}

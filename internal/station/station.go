@@ -220,6 +220,12 @@ type Station struct {
 	// method-value closure per schedule.
 	trySuspendFn sim.Event
 	ackTimeoutFn sim.Event
+
+	// ackArm, when set, is notified with the deadline each time the ACK
+	// timer is armed. Cohorts use it to watch the handshake: the AP
+	// serves member ACKs serially, so tail members can time out while
+	// the template's own ACK (always first) arrives in time.
+	ackArm func(deadline time.Duration)
 }
 
 var _ medium.Node = (*Station)(nil)
@@ -238,6 +244,70 @@ func New(eng *sim.Engine, med medium.Channel, cfg Config) *Station {
 	s.ackTimeoutFn = s.ackTimeout
 	med.Attach(cfg.Addr, s)
 	return s
+}
+
+// cloneFor returns a deep copy of the station reparented to a new MAC
+// address, AID, and channel — the member-divergence path of cohort
+// splitting (off is the clone's member offset from the source). The
+// clone owns fresh copies of every mutable slice and map, rebinds its
+// method-value events to itself, re-arms any pending suspend/ACK
+// timers at their original instants, and seeds a fresh RNG from the
+// new address (exact versus an expanded member until the first retry
+// draw, since jitter is only consumed on retransmissions). Pending
+// timers are mirrored at the source event's slot offset by off, so
+// same-instant firing follows member order however the family was
+// split — exactly the order expanded members, whose timers are armed
+// consecutively in member order, would fire in. The association retry
+// timer cannot be cloned (it is a closure over the original station),
+// so splitting is only valid once association has completed; the
+// observer is deliberately not carried over.
+func (s *Station) cloneFor(addr dot11.MACAddr, aid dot11.AID, med medium.Channel, off int) *Station {
+	c := s.snapshot().adopt(addr, aid, med)
+	if slot, ok := s.suspendEv.Slot(); ok {
+		c.suspendEv = c.eng.MustScheduleAtSlot(s.suspendEv.At(), slot.Offset(off), c.trySuspendFn)
+	}
+	if slot, ok := s.ackTimer.Slot(); ok {
+		c.ackTimer = c.eng.MustScheduleAtSlot(s.ackTimer.At(), slot.Offset(off), c.ackTimeoutFn)
+	}
+	return c
+}
+
+// snapshot returns an inert deep copy of the station's protocol state:
+// fresh copies of every mutable slice and map, but no channel, no
+// bound events, no scheduled timers, and no observer. Cohorts freeze
+// one per handshake round so a timed-out tail can be split off in the
+// exact pre-ACK state an expanded member would hold; adopt brings a
+// snapshot to life.
+func (s *Station) snapshot() *Station {
+	c := new(Station)
+	*c = *s
+	c.med = nil
+	c.ports = make(map[uint16]bool, len(s.ports))
+	for p, v := range s.ports {
+		c.ports[p] = v
+	}
+	c.lastPortMsg = append([]uint16(nil), s.lastPortMsg...)
+	c.syncedPorts = append([]uint16(nil), s.syncedPorts...) // nil stays nil
+	c.arrivals = append([]energy.Arrival(nil), s.arrivals...)
+	c.obs = nil
+	c.trySuspendFn, c.ackTimeoutFn, c.ackArm = nil, nil, nil
+	c.suspendEv, c.ackTimer, c.assocTimer = sim.Handle{}, sim.Handle{}, sim.Handle{}
+	return c
+}
+
+// adopt reparents a snapshot to a new MAC address, AID, and channel,
+// rebinding its method-value events and seeding a fresh RNG from the
+// new address. Pending timers are NOT restored — cloneFor re-arms
+// them from the source, and the cohort handshake path instead invokes
+// the timed-out path directly.
+func (c *Station) adopt(addr dot11.MACAddr, aid dot11.AID, med medium.Channel) *Station {
+	c.cfg.Addr = addr
+	c.med = med
+	c.aid = aid
+	c.rng = sim.NewRNG(c.cfg.Seed ^ addrSeed(addr))
+	c.trySuspendFn = c.trySuspend
+	c.ackTimeoutFn = c.ackTimeout
+	return c
 }
 
 // addrSeed folds the MAC address into an RNG seed so stations sharing
@@ -541,6 +611,19 @@ func (s *Station) observeBeacon(b *dot11.Beacon, now time.Duration) {
 
 // handleData receives group or unicast data frames.
 func (s *Station) handleData(raw []byte, rate dot11.Rate, now time.Duration) {
+	// Asleep fast path: a group frame reaching a PS-mode radio between
+	// listen windows is dropped before the (allocating) full parse —
+	// the dominant delivery at large scale. The outcome matches the
+	// slow path exactly: not ours, multicast, not listening, beacon not
+	// overdue → return with no state change (and a frame the full parse
+	// would reject changes no state on either path).
+	if len(raw) >= 10 && !s.listening {
+		var addr1 dot11.MACAddr
+		copy(addr1[:], raw[4:10])
+		if addr1 != s.cfg.Addr && addr1.IsMulticast() && !s.beaconOverdue(now) {
+			return
+		}
+	}
 	df, err := dot11.UnmarshalDataFrame(raw)
 	if err != nil {
 		return
@@ -698,6 +781,9 @@ func (s *Station) sendPortMessage(now time.Duration) {
 	s.awaitingACK = true
 	s.ackTimer.Cancel()
 	s.ackTimer = s.eng.MustScheduleAfter(s.ackWait(), s.ackTimeoutFn)
+	if s.ackArm != nil {
+		s.ackArm(s.ackTimer.At())
+	}
 }
 
 // maxBackoffShift caps the exponential ACK-timeout backoff at 16× the
