@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dot11"
 	"repro/internal/energy"
+	"repro/internal/ess"
 	"repro/internal/policy"
 	"repro/internal/porttable"
 	"repro/internal/procnet"
@@ -188,15 +189,9 @@ type SeedSweep = core.SeedSweep
 // SweepSeedsContext evaluates the headline saving across tagging seeds
 // on the worker pool configured by opts.Workers; opts also supplies
 // the protocol overhead, while its seed fields are overridden per
-// sweep point.
+// sweep point. It shows the headline saving is not a seed artifact.
 func SweepSeedsContext(ctx context.Context, tr *Trace, dev Profile, fraction float64, seeds []uint64, opts Options) (SeedSweep, error) {
 	return core.SweepSeedsContext(ctx, tr, dev, fraction, seeds, opts)
-}
-
-// SweepSeeds evaluates the headline saving across tagging seeds to
-// show it is not a seed artifact.
-func SweepSeeds(tr *Trace, dev Profile, fraction float64, seeds []uint64) (SeedSweep, error) {
-	return core.SweepSeeds(tr, dev, fraction, seeds)
 }
 
 // DefaultSweepSeeds is a small deterministic seed set for SweepSeeds.
@@ -223,26 +218,16 @@ func OpenPortsForFraction(tr *Trace, target float64) map[uint16]bool {
 const DefaultSeed = core.DefaultSeed
 
 // EvaluateContext runs one policy over a tagged trace for one device,
-// honouring ctx between pipeline stages. This is the primary
-// evaluation entry point; Evaluate is its background-context shim.
+// honouring ctx between pipeline stages. This is the canonical
+// evaluation entry point: context first, options last.
 func EvaluateContext(ctx context.Context, tr *Trace, useful []bool, dev Profile, kind PolicyKind, opts Options) (Result, error) {
 	return core.EvaluateContext(ctx, tr, useful, dev, kind, opts)
-}
-
-// Evaluate runs one policy over a tagged trace for one device.
-func Evaluate(tr *Trace, useful []bool, dev Profile, kind PolicyKind, opts Options) (Result, error) {
-	return core.Evaluate(tr, useful, dev, kind, opts)
 }
 
 // EvaluateFractionContext tags the trace uniformly and evaluates the
 // policy under ctx.
 func EvaluateFractionContext(ctx context.Context, tr *Trace, fraction float64, dev Profile, kind PolicyKind, opts Options) (Result, error) {
 	return core.EvaluateFractionContext(ctx, tr, fraction, dev, kind, opts)
-}
-
-// EvaluateFraction tags the trace uniformly and evaluates the policy.
-func EvaluateFraction(tr *Trace, fraction float64, dev Profile, kind PolicyKind, opts Options) (Result, error) {
-	return core.EvaluateFraction(tr, fraction, dev, kind, opts)
 }
 
 // CompareEnergyContext evaluates the full Figure 7/8 bar set for one
@@ -252,36 +237,10 @@ func CompareEnergyContext(ctx context.Context, tr *Trace, dev Profile, opts Opti
 	return core.CompareEnergyContext(ctx, tr, dev, opts)
 }
 
-// CompareEnergyOptions evaluates the Figure 7/8 bar set with explicit
-// options (overhead, tagging seed, parallelism).
-func CompareEnergyOptions(tr *Trace, dev Profile, opts Options) (EnergyComparison, error) {
-	return core.CompareEnergy(tr, dev, opts)
-}
-
-// CompareEnergy evaluates the full Figure 7/8 bar set for one trace
-// with the paper's default options. Compatibility shim for
-// CompareEnergyContext.
-func CompareEnergy(tr *Trace, dev Profile) (EnergyComparison, error) {
-	return core.CompareEnergy(tr, dev, core.Options{})
-}
-
 // SuspendFractionsContext evaluates the Figure 9 row for one trace
 // under ctx on the configured worker pool.
 func SuspendFractionsContext(ctx context.Context, tr *Trace, dev Profile, opts Options) (SuspendRow, error) {
 	return core.SuspendFractionsContext(ctx, tr, dev, opts)
-}
-
-// SuspendFractionsOptions evaluates the Figure 9 row with explicit
-// options.
-func SuspendFractionsOptions(tr *Trace, dev Profile, opts Options) (SuspendRow, error) {
-	return core.SuspendFractions(tr, dev, opts)
-}
-
-// SuspendFractions evaluates the Figure 9 row for one trace with the
-// paper's default options. Compatibility shim for
-// SuspendFractionsContext.
-func SuspendFractions(tr *Trace, dev Profile) (SuspendRow, error) {
-	return core.SuspendFractions(tr, dev, core.Options{})
 }
 
 // RunSuiteContext evaluates Figures 7/8 and 9 across all scenarios,
@@ -294,17 +253,100 @@ func RunSuiteContext(ctx context.Context, dev Profile, opts Options) (*Suite, er
 	return core.RunSuiteContext(ctx, dev, opts)
 }
 
-// RunSuiteOptions evaluates the full figure set with explicit options.
-func RunSuiteOptions(dev Profile, opts Options) (*Suite, error) {
-	return core.RunSuite(dev, opts)
+// Compatibility shims. The functions below are the pre-consolidation
+// surface — bare names with implicit defaults and Options-suffixed
+// variants — kept so existing callers build unchanged. Each is a
+// one-line delegation to its Context variant; the apishim lint check
+// forbids adding new non-context entry points outside this block.
+
+// Deprecated: use EvaluateContext.
+func Evaluate(tr *Trace, useful []bool, dev Profile, kind PolicyKind, opts Options) (Result, error) {
+	return EvaluateContext(context.Background(), tr, useful, dev, kind, opts)
 }
 
-// RunSuite evaluates Figures 7/8 and 9 across all scenarios with the
-// paper's default options. Compatibility shim for RunSuiteContext.
-func RunSuite(dev Profile) (*Suite, error) { return core.RunSuite(dev, core.Options{}) }
+// Deprecated: use EvaluateFractionContext.
+func EvaluateFraction(tr *Trace, fraction float64, dev Profile, kind PolicyKind, opts Options) (Result, error) {
+	return EvaluateFractionContext(context.Background(), tr, fraction, dev, kind, opts)
+}
+
+// Deprecated: use CompareEnergyContext.
+func CompareEnergyOptions(tr *Trace, dev Profile, opts Options) (EnergyComparison, error) {
+	return CompareEnergyContext(context.Background(), tr, dev, opts)
+}
+
+// Deprecated: use CompareEnergyContext with Options{} for the paper's
+// defaults.
+func CompareEnergy(tr *Trace, dev Profile) (EnergyComparison, error) {
+	return CompareEnergyContext(context.Background(), tr, dev, Options{})
+}
+
+// Deprecated: use SuspendFractionsContext.
+func SuspendFractionsOptions(tr *Trace, dev Profile, opts Options) (SuspendRow, error) {
+	return SuspendFractionsContext(context.Background(), tr, dev, opts)
+}
+
+// Deprecated: use SuspendFractionsContext with Options{} for the
+// paper's defaults.
+func SuspendFractions(tr *Trace, dev Profile) (SuspendRow, error) {
+	return SuspendFractionsContext(context.Background(), tr, dev, Options{})
+}
+
+// Deprecated: use RunSuiteContext.
+func RunSuiteOptions(dev Profile, opts Options) (*Suite, error) {
+	return RunSuiteContext(context.Background(), dev, opts)
+}
+
+// Deprecated: use RunSuiteContext with Options{} for the paper's
+// defaults.
+func RunSuite(dev Profile) (*Suite, error) {
+	return RunSuiteContext(context.Background(), dev, Options{})
+}
+
+// Deprecated: use SweepSeedsContext.
+func SweepSeeds(tr *Trace, dev Profile, fraction float64, seeds []uint64) (SeedSweep, error) {
+	return SweepSeedsContext(context.Background(), tr, dev, fraction, seeds, Options{})
+}
 
 // NewNetwork builds the protocol-level simulation harness.
 func NewNetwork(cfg NetworkConfig) (*Network, error) { return core.NewNetwork(cfg) }
+
+// Multi-AP extended service set (ESS) types.
+type (
+	// ESS is a sharded multi-AP simulation joined by a distribution
+	// system; clients roam between APs with disassociation and
+	// reassociation frames.
+	ESS = ess.ESS
+	// ESSConfig configures NewESS.
+	ESSConfig = ess.Config
+	// ESSStats aggregates an ESS run's roaming and port-state
+	// migration counters.
+	ESSStats = ess.Stats
+	// ESSShard is one AP with its own medium and event loop.
+	ESSShard = ess.Shard
+	// ChurnConfig parameterizes the cold-vs-replicated roaming
+	// experiment.
+	ChurnConfig = ess.ChurnConfig
+	// ChurnResult is one churn experiment outcome.
+	ChurnResult = ess.ChurnResult
+)
+
+// NewESS builds a sharded multi-AP extended service set.
+func NewESS(cfg ESSConfig) (*ESS, error) { return ess.New(cfg) }
+
+// RunESSContext replays the trace across every shard of the ESS under
+// ctx: shards advance in lockstep beacon-interval windows, and
+// cross-shard effects (distribution-system merges, roams) apply at the
+// window barriers, so the run is byte-identical for any worker count.
+func RunESSContext(ctx context.Context, e *ESS, tr *Trace) error { return e.RunContext(ctx, tr) }
+
+// RunChurnContext runs the roaming-churn experiment: an ESS under a
+// scenario trace with seed-driven client mobility, reporting roams,
+// wanted-frame misses, resync-window misses, and mean per-station
+// energy. Toggle ChurnConfig.Replicate to compare cold port-table
+// resync against proactive distribution-system replication.
+func RunChurnContext(ctx context.Context, cfg ChurnConfig) (ChurnResult, error) {
+	return ess.RunChurnContext(ctx, cfg)
+}
 
 // TableII returns the 802.11b configuration of the paper's Table II.
 func TableII() DCFConfig { return bianchi.TableII() }

@@ -12,10 +12,18 @@
 //
 //	hidesim [-device nexusone|galaxys4|all] [-metric power|suspend|all] [-components] [-parallel N]
 //	hidesim -fault <scenario,...|all|list> [-parallel N]
+//	hidesim -ess [-ess-aps K] [-ess-stations N] [-ess-roam r1,r2,...] [-ess-dsloss p] [-parallel N]
 //
 // With -fault, hidesim skips the energy study and runs the chaos grid
 // for the selected fault scenarios: invariant checks, fail-safe
 // recovery, and same-seed determinism under injected faults.
+//
+// With -ess, hidesim runs the multi-AP roaming churn experiment: each
+// requested roam rate is run twice — cold handoffs (the roamed-to AP
+// learns the client's ports only at the next UDP Port Message) and
+// replicated handoffs (port state is pushed over the distribution
+// system ahead of the roam) — and the table compares wanted-frame
+// misses, resync-window misses, and mean per-station power.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/check"
@@ -37,11 +46,47 @@ func main() {
 	components := flag.Bool("components", false, "print the five energy components per bar")
 	format := flag.String("format", "table", "output format: table or csv (machine-readable, for plotting)")
 	faultNames := flag.String("fault", "", "run the chaos fault grid instead: scenario name(s), \"all\", or \"list\"")
+	essMode := flag.Bool("ess", false, "run the multi-AP roaming churn experiment instead")
+	essAPs := flag.Int("ess-aps", 4, "ESS: number of access points")
+	essStations := flag.Int("ess-stations", 32, "ESS: number of HIDE stations")
+	essScenario := flag.String("ess-scenario", "Classroom", "ESS: broadcast trace scenario")
+	essDuration := flag.Duration("ess-duration", 5*time.Minute, "ESS: trace truncation (0 = full capture)")
+	essRoam := flag.String("ess-roam", "0.5,2,8", "ESS: comma-separated roam rates (roams per station per minute)")
+	essDSLoss := flag.Float64("ess-dsloss", 0, "ESS: distribution-system record loss probability")
+	essJitter := flag.Float64("ess-jitter", 0, "ESS: port-refresh jitter fraction")
+	essSeed := flag.Uint64("ess-seed", 1, "ESS: trace and mobility seed")
 	workers := cli.WorkersFlag()
 	flag.Parse()
 
 	if *faultNames != "" {
 		runFaultGrid(*faultNames, *workers)
+		return
+	}
+	if *essMode {
+		if *format != "table" && *format != "csv" {
+			cli.Usagef("hidesim", "unknown format %q", *format)
+		}
+		dev := hide.NexusOne // churn prices one device; -device all keeps the default
+		switch strings.ToLower(*device) {
+		case "nexusone", "all":
+		case "galaxys4":
+			dev = hide.GalaxyS4
+		default:
+			cli.Usagef("hidesim", "unknown device %q", *device)
+		}
+		runChurnGrid(churnFlags{
+			aps:      *essAPs,
+			stations: *essStations,
+			scenario: *essScenario,
+			duration: *essDuration,
+			roam:     *essRoam,
+			dsLoss:   *essDSLoss,
+			jitter:   *essJitter,
+			seed:     *essSeed,
+			format:   *format,
+			dev:      dev,
+			workers:  *workers,
+		})
 		return
 	}
 

@@ -19,11 +19,12 @@ import (
 
 // Bench mode runs the repository's headline benchmarks — the hot paths
 // the pooled scheduler, copy-free medium, and incremental beacon encoder
-// optimize — through testing.Benchmark with allocation reporting, and
-// records ns/op, B/op, and allocs/op as JSON. The committed BENCH_6.json
-// is the performance trajectory: CI re-runs this mode and prints an
-// informational comparison, so a regression shows up in the job log
-// without flaking the build on machine variance.
+// optimize, plus the sharded multi-AP ESS — through testing.Benchmark
+// with allocation reporting, and records ns/op, B/op, and allocs/op as
+// JSON. The committed BENCH_7.json is the performance trajectory: CI
+// re-runs this mode and prints an informational comparison, so a
+// regression shows up in the job log without flaking the build on
+// machine variance.
 
 // BenchRecord is one benchmark's measurement.
 type BenchRecord struct {
@@ -56,6 +57,7 @@ func runBench(out, baseline string) {
 		{"BeaconEncode/IdleDTIM", benchBeaconEncode},
 		{"MediumFanout/16", benchMediumFanout},
 		{"Stations/1M", benchStationsMillion},
+		{"ESS/K=8/roam", benchESSRoam},
 	}
 
 	file := BenchFile{
@@ -129,11 +131,11 @@ func delta(base, cur float64) float64 {
 	return (cur - base) / base * 100
 }
 
-// benchTrajectory renders the committed BENCH_6.json record as a
+// benchTrajectory renders the committed BENCH_7.json record as a
 // markdown section of the report. Silently skipped when the file is
 // absent (the report is normally regenerated from the repo root).
 func benchTrajectory() {
-	raw, err := os.ReadFile("BENCH_6.json")
+	raw, err := os.ReadFile("BENCH_7.json")
 	if err != nil {
 		return
 	}
@@ -142,7 +144,7 @@ func benchTrajectory() {
 		return
 	}
 	fmt.Println()
-	fmt.Println("### Hot-path benchmark trajectory (committed BENCH_6.json)")
+	fmt.Println("### Hot-path benchmark trajectory (committed BENCH_7.json)")
 	fmt.Println()
 	fmt.Printf("Recorded with `go run ./cmd/report -bench` on %s/%s, GOMAXPROCS %d, %s:\n",
 		f.GOOS, f.GOARCH, f.GOMAXPROCS, f.GoVersion)
@@ -165,12 +167,16 @@ func benchTrajectory() {
 	fmt.Println("asserted unchanged). Stations/1M replays a 2-minute trace against 10⁶")
 	fmt.Println("modeled HIDE clients via cohort stations (internal/station) — exact")
 	fmt.Println("within the AID space per the internal/check equivalence suite, the")
-	fmt.Println("aggregate what-if regime past it (DESIGN.md §9). CI's bench-smoke")
+	fmt.Println("aggregate what-if regime past it (DESIGN.md §9). ESS/K=8/roam is the")
+	fmt.Println("sharded multi-AP headline: an 8-AP extended service set with 64")
+	fmt.Println("roaming HIDE stations and replicated port-table handoffs, one")
+	fmt.Println("goroutine per shard with barrier-merged cross-AP effects —")
+	fmt.Println("byte-identical for any worker count (DESIGN.md §10). CI's bench-smoke")
 	fmt.Println("job re-runs this mode against the committed record as an")
-	fmt.Println("informational comparison (and against the prior BENCH_5.json point).")
+	fmt.Println("informational comparison (and against the prior BENCH_6.json point).")
 	fmt.Println()
 	fmt.Println("Regenerate: `go run ./cmd/report -bench`; compare:")
-	fmt.Println("`go run ./cmd/report -bench -benchout /tmp/b.json -baseline BENCH_6.json`.")
+	fmt.Println("`go run ./cmd/report -bench -benchout /tmp/b.json -baseline BENCH_7.json`.")
 }
 
 // benchRunSuite measures the full figure-suite evaluation for one
@@ -281,6 +287,50 @@ func benchStationsMillion(b *testing.B) {
 		}
 		if pts[0].N != 1_000_000 {
 			b.Fatalf("scaled %d clients, want 1000000", pts[0].N)
+		}
+	}
+}
+
+// benchESSRoam measures the sharded multi-AP simulation: an 8-AP ESS
+// with 64 roaming HIDE stations and replicated port-table handoffs
+// replaying a 2-minute Classroom trace — the shard-per-AP parallelism
+// headline.
+func benchESSRoam(b *testing.B) {
+	cfg := hide.ScenarioConfig(hide.Classroom)
+	cfg.Duration = 2 * time.Minute
+	tr, err := hide.GenerateTraceConfig(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := hide.NewESS(hide.ESSConfig{
+			APs: 8,
+			Network: core.NetworkConfig{
+				DTIMPeriod: 1,
+				HIDE:       true,
+				Harden:     true,
+				Seed:       7,
+			},
+			Replicate: true,
+			RoamRate:  2,
+			RoamSeed:  7,
+			Workers:   workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < 64; s++ {
+			if _, err := e.AddStation(hide.StationHIDE, []uint16{5353, 53}, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := hide.RunESSContext(ctx, e, tr); err != nil {
+			b.Fatal(err)
+		}
+		if e.Stats().Roams == 0 {
+			b.Fatal("bench ESS run had no roams")
 		}
 	}
 }

@@ -121,6 +121,13 @@ type Stats struct {
 	// PortEntriesExpired counts clients aged out of the Client UDP Port
 	// Table by the PortTTL sweep.
 	PortEntriesExpired int
+	// Reassociations counts reassociation exchanges served (roaming
+	// stations arriving from another AP of the same ESS).
+	Reassociations int
+	// PortsSeededOnRoam counts port-table entries seeded at
+	// reassociation time from the distribution system's replicated
+	// directory (warm handoff) rather than from the station itself.
+	PortsSeededOnRoam int
 }
 
 // BeaconView is the snapshot of AP state an Observer receives for each
@@ -165,6 +172,15 @@ type AP struct {
 	stats   Stats
 	obs     Observer
 	flagFn  func(bufferedPorts []uint16, table *porttable.Table) *dot11.VirtualBitmap
+	// roamPorts, when set, is consulted at reassociation time for a
+	// replicated port set from the ESS distribution system (warm
+	// handoff). A nil return means no replicated entry — the station
+	// resyncs cold via its next UDP Port Message.
+	roamPorts func(addr dot11.MACAddr) []uint16
+	// portSync, when set, receives every port-table update the AP
+	// learns from the air, so the ESS distribution system can
+	// replicate entries to the other APs before the station roams.
+	portSync func(addr dot11.MACAddr, ports []uint16)
 
 	tickFn sim.Event // bound beaconTick; reused across reschedules
 	dirty  bool      // beacon-relevant state changed since last rebuild
@@ -229,6 +245,20 @@ func (a *AP) SetFlagComputer(fn func(bufferedPorts []uint16, table *porttable.Ta
 // Table exposes the Client UDP Port Table (read-mostly; used by tests
 // and tooling).
 func (a *AP) Table() *porttable.Table { return a.table }
+
+// SetRoamPortLookup installs the distribution-system port lookup used
+// at reassociation time: when a station roams in, the AP asks the ESS
+// for a replicated port set and seeds its Client UDP Port Table from
+// it, closing the resync window a cold handoff would leave open. A
+// nil fn (the default) disables warm seeding.
+func (a *AP) SetRoamPortLookup(fn func(addr dot11.MACAddr) []uint16) { a.roamPorts = fn }
+
+// SetPortSync installs the distribution-system export hook: every
+// port set the AP learns from the air (association seeds and UDP Port
+// Messages) is reported so the ESS can replicate it to sibling APs.
+// The callback runs synchronously on the shard's event loop and must
+// not mutate the AP; the ports slice is only valid for the call.
+func (a *AP) SetPortSync(fn func(addr dot11.MACAddr, ports []uint16)) { a.portSync = fn }
 
 // Associate registers a station and returns its AID. hideCapable marks
 // stations that understand the BTIM element.
@@ -600,6 +630,8 @@ func (a *AP) Receive(raw []byte, rate dot11.Rate, now time.Duration) {
 	switch dot11.Classify(raw) {
 	case dot11.KindAssocRequest:
 		a.handleAssocRequest(raw, now)
+	case dot11.KindReassocRequest:
+		a.handleReassocRequest(raw, now)
 	case dot11.KindDisassoc:
 		if d, err := dot11.UnmarshalDisassoc(raw); err == nil {
 			a.Disassociate(d.Header.Addr2)
@@ -646,12 +678,75 @@ func (a *AP) handleAssocRequest(raw []byte, now time.Duration) {
 		resp.AID = c.aid
 		if a.cfg.HIDE && req.Ports != nil {
 			a.table.UpdateAt(c.aid, req.Ports, now)
+			if a.portSync != nil {
+				a.portSync(addr, req.Ports)
+			}
 		}
 	}
 	a.stats.AssocResponses++
 	out, err := resp.Marshal()
 	if err != nil {
 		panic(fmt.Sprintf("ap: assoc response marshal: %v", err))
+	}
+	a.med.Transmit(a.cfg.BSSID, out, a.cfg.BeaconRate)
+}
+
+// handleReassocRequest serves a station roaming in from another AP of
+// the ESS. The exchange mirrors association — allocate an AID,
+// respond — with one difference: the station's host is suspended
+// during a firmware-level roam, so the request carries no Open UDP
+// Ports element. The AP instead consults the distribution system
+// (SetRoamPortLookup) for a replicated port set; without one the
+// station's BTIM filtering stays conservative (no entry → no wanted
+// frames indicated) until its next UDP Port Message — the cold-roam
+// resync window the ESS experiments quantify.
+func (a *AP) handleReassocRequest(raw []byte, now time.Duration) {
+	req, err := dot11.UnmarshalReassocRequest(raw)
+	if err != nil {
+		return
+	}
+	addr := req.Header.Addr2
+	resp := &dot11.ReassocResponse{
+		Header: dot11.MACHeader{
+			Addr1: addr, Addr2: a.cfg.BSSID, Addr3: a.cfg.BSSID,
+			Seq: a.nextSeq(),
+		},
+		Status:        dot11.StatusSuccess,
+		HIDESupported: a.cfg.HIDE,
+	}
+	c, ok := a.clients[addr]
+	if !ok {
+		if _, err := a.Associate(addr, req.HIDECapable); err != nil {
+			resp.Status = dot11.StatusAPFull
+		} else {
+			c = a.clients[addr]
+		}
+	}
+	if c != nil {
+		resp.AID = c.aid
+		if a.cfg.HIDE {
+			// An empty port set means the request carried no port state
+			// (a firmware roam signals HIDE capability with an empty
+			// element), NOT a deregistration — deregistration happens via
+			// UDP Port Messages. Only a non-empty set overrides the
+			// distribution system's replicated entry.
+			if len(req.Ports) > 0 {
+				a.table.UpdateAt(c.aid, req.Ports, now)
+				if a.portSync != nil {
+					a.portSync(addr, req.Ports)
+				}
+			} else if a.roamPorts != nil {
+				if ports := a.roamPorts(addr); ports != nil {
+					a.table.UpdateAt(c.aid, ports, now)
+					a.stats.PortsSeededOnRoam += len(ports)
+				}
+			}
+		}
+	}
+	a.stats.Reassociations++
+	out, err := resp.Marshal()
+	if err != nil {
+		panic(fmt.Sprintf("ap: reassoc response marshal: %v", err))
 	}
 	a.med.Transmit(a.cfg.BSSID, out, a.cfg.BeaconRate)
 }
@@ -669,6 +764,9 @@ func (a *AP) handlePortMessage(raw []byte, now time.Duration) {
 	}
 	if a.cfg.HIDE {
 		a.table.UpdateAt(c.aid, msg.Ports, now)
+		if a.portSync != nil {
+			a.portSync(c.addr, msg.Ports)
+		}
 	}
 	a.stats.PortMsgsReceived++
 	ack := &dot11.ACK{RA: c.addr}

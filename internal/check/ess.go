@@ -1,0 +1,420 @@
+// ESS equivalence and roam-fault layer.
+//
+// Two claims anchor the multi-AP assembly to everything already
+// proven about the single-AP path:
+//
+//  1. A K=1 ESS with no mobility IS the single-AP simulation: the
+//     windowed barrier execution must reproduce a plain core.Network
+//     replay byte-for-byte — identical frame streams (fingerprint of
+//     every transmission's instant, rate, and bytes), identical
+//     per-station counters and arrival logs, and bit-identical energy
+//     breakdowns (compared with ==, never a tolerance).
+//  2. Under churn and a lossy distribution system, the ESS stays
+//     deterministic: the same seed produces the same shard
+//     fingerprints and stats for any worker count, and the
+//     replicated-handoff miss count stays between the lossless-warm
+//     floor (zero) and the cold ceiling.
+package check
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/ess"
+	"repro/internal/policy"
+	"repro/internal/station"
+	"repro/internal/trace"
+)
+
+// ESSEquivCell identifies one K=1 ESS-vs-Network comparison.
+type ESSEquivCell struct {
+	Policy   policy.Kind
+	Scenario trace.Scenario
+	Size     int
+}
+
+// String labels the cell for reports.
+func (c ESSEquivCell) String() string {
+	return fmt.Sprintf("ess/%s/%s/n%d", c.Policy, c.Scenario, c.Size)
+}
+
+// ESSEquivResult is one compared cell; Mismatch names the first
+// diverging observable ("" = exact).
+type ESSEquivResult struct {
+	Cell     ESSEquivCell
+	Frames   int
+	Mismatch string
+}
+
+// OK reports whether the cell was exact.
+func (r ESSEquivResult) OK() bool { return r.Mismatch == "" }
+
+// runNetworkSide replays the trace against a plain single-AP network
+// with frame-level association — the exact call sequence
+// ess.AddStation mirrors.
+func runNetworkSide(tr *trace.Trace, kind policy.Kind, open []uint16, seed uint64, size int) (*equivSide, error) {
+	mode, err := modeFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	n, err := core.NewNetwork(core.NetworkConfig{
+		DTIMPeriod: 1,
+		HIDE:       kind == policy.HIDE,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := newAirDigest()
+	n.Medium.SetTap(d.tap)
+	var sts []*station.Station
+	for i := 0; i < size; i++ {
+		st, err := n.AddStation(mode, open)
+		if err != nil {
+			return nil, err
+		}
+		sts = append(sts, st)
+	}
+	if err := n.Replay(tr); err != nil {
+		return nil, err
+	}
+	side := &equivSide{fp: d.h.Sum64(), frames: d.frames}
+	for _, st := range sts {
+		side.arrivals = append(side.arrivals, st.Arrivals())
+		side.stats = append(side.stats, st.Stats())
+	}
+	return side, nil
+}
+
+// runESSSide replays the trace against a K=1 ESS with the same
+// population.
+func runESSSide(ctx context.Context, tr *trace.Trace, kind policy.Kind, open []uint16, seed uint64, size int) (*equivSide, error) {
+	mode, err := modeFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	e, err := ess.New(ess.Config{
+		APs: 1,
+		Network: core.NetworkConfig{
+			DTIMPeriod: 1,
+			HIDE:       kind == policy.HIDE,
+			Seed:       seed,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := newAirDigest()
+	e.Shards()[0].Net.Medium.SetTap(d.tap)
+	for i := 0; i < size; i++ {
+		if _, err := e.AddStation(mode, open, 1); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.RunContext(ctx, tr); err != nil {
+		return nil, err
+	}
+	side := &equivSide{fp: d.h.Sum64(), frames: d.frames}
+	for _, st := range e.Stations() {
+		side.arrivals = append(side.arrivals, st.Arrivals())
+		side.stats = append(side.stats, st.Stats())
+	}
+	return side, nil
+}
+
+// ESSEquivConfig tunes the K=1 equivalence sweep.
+type ESSEquivConfig struct {
+	// Duration truncates the scenario traces (zero keeps them whole).
+	Duration time.Duration
+	// UsefulTarget is the port-derived useful-traffic fraction
+	// (default 0.10).
+	UsefulTarget float64
+	// Seed perturbs the trace generator and seeds both assemblies.
+	Seed uint64
+	// Devices price the bit-identity check (default both Table I
+	// devices).
+	Devices []energy.Profile
+	// Workers bounds the matrix parallelism.
+	Workers int
+}
+
+// normalized fills defaults.
+func (c ESSEquivConfig) normalized() ESSEquivConfig {
+	if c.UsefulTarget <= 0 {
+		c.UsefulTarget = 0.10
+	}
+	if len(c.Devices) == 0 {
+		c.Devices = []energy.Profile{energy.NexusOne, energy.GalaxyS4}
+	}
+	return c
+}
+
+// equiv projects the config onto the shared diffSides parameter type.
+func (c ESSEquivConfig) equiv() EquivConfig { return EquivConfig{Devices: c.Devices} }
+
+// RunESSEquivCellContext runs one K=1 comparison.
+func RunESSEquivCellContext(ctx context.Context, c ESSEquivCell, cfg ESSEquivConfig) (ESSEquivResult, error) {
+	cfg = cfg.normalized()
+	if c.Size < 1 {
+		return ESSEquivResult{}, fmt.Errorf("check: ess equivalence size %d < 1", c.Size)
+	}
+	tr, err := oracleTrace(c.Scenario, cfg.Seed, cfg.Duration)
+	if err != nil {
+		return ESSEquivResult{}, err
+	}
+	open := sortedPorts(trace.OpenPortsForFraction(tr, cfg.UsefulTarget))
+
+	net, err := runNetworkSide(tr, c.Policy, open, cfg.Seed, c.Size)
+	if err != nil {
+		return ESSEquivResult{}, fmt.Errorf("check: %v network side: %w", c, err)
+	}
+	es, err := runESSSide(ctx, tr, c.Policy, open, cfg.Seed, c.Size)
+	if err != nil {
+		return ESSEquivResult{}, fmt.Errorf("check: %v ess side: %w", c, err)
+	}
+
+	res := ESSEquivResult{Cell: c, Frames: net.frames}
+	res.Mismatch = diffSides(es, net, c.Size, cfg.equiv(), tr.Duration+dot11.DefaultBeaconInterval)
+	return res, nil
+}
+
+// ESSEquivMatrix is the K=1 byte-identity sweep.
+type ESSEquivMatrix struct {
+	Policies  []policy.Kind
+	Scenarios []trace.Scenario
+	Size      int
+	Config    ESSEquivConfig
+}
+
+// DefaultESSEquivMatrix covers the acceptance grid: three policies ×
+// three scenario traces, a handful of stations each.
+func DefaultESSEquivMatrix() ESSEquivMatrix {
+	return ESSEquivMatrix{
+		Policies:  []policy.Kind{policy.ReceiveAll, policy.ClientSide, policy.HIDE},
+		Scenarios: []trace.Scenario{trace.Classroom, trace.Starbucks, trace.WRL},
+		Size:      4,
+	}
+}
+
+// ESSEquivMatrixResult collects every cell of a sweep.
+type ESSEquivMatrixResult struct {
+	Results []ESSEquivResult
+}
+
+// RunContext executes the sweep over the worker pool; cell order is
+// policy-major then scenario, identical for any worker count.
+func (m ESSEquivMatrix) RunContext(ctx context.Context) (*ESSEquivMatrixResult, error) {
+	cfg := m.Config.normalized()
+	size := m.Size
+	if size < 1 {
+		size = 4
+	}
+	var cells []ESSEquivCell
+	for _, kind := range m.Policies {
+		for _, sc := range m.Scenarios {
+			cells = append(cells, ESSEquivCell{Policy: kind, Scenario: sc, Size: size})
+		}
+	}
+	res, err := engine.Map(ctx, cfg.Workers, len(cells), func(ctx context.Context, i int) (ESSEquivResult, error) {
+		if err := ctx.Err(); err != nil {
+			return ESSEquivResult{}, err
+		}
+		return RunESSEquivCellContext(ctx, cells[i], cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ESSEquivMatrixResult{Results: res}, nil
+}
+
+// Failures returns the diverging cells.
+func (r *ESSEquivMatrixResult) Failures() []ESSEquivResult {
+	var out []ESSEquivResult
+	for _, c := range r.Results {
+		if !c.OK() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Err returns nil when every cell was exact.
+func (r *ESSEquivMatrixResult) Err() error {
+	fails := r.Failures()
+	if len(fails) == 0 {
+		return nil
+	}
+	names := make([]string, len(fails))
+	for i, f := range fails {
+		names[i] = fmt.Sprintf("%v (%s)", f.Cell, f.Mismatch)
+	}
+	return fmt.Errorf("check: %d/%d ESS equivalence cells diverged: %v", len(fails), len(r.Results), names)
+}
+
+// ESSRoamFaultConfig tunes the roam-under-fault check: a churning ESS
+// with a lossy distribution system, run repeatedly to assert
+// determinism and the miss-count ordering.
+type ESSRoamFaultConfig struct {
+	// APs, Stations, RoamRate size the churn (defaults 4, 12, 3/min).
+	APs      int
+	Stations int
+	RoamRate float64
+	// DSLoss is the DS-channel drop probability (default 0.5 — an
+	// aggressively lossy distribution system).
+	DSLoss float64
+	// Scenario and Duration select the trace (the zero Scenario is
+	// Classroom; Duration defaults to 2 min).
+	Scenario trace.Scenario
+	Duration time.Duration
+	// Seed drives trace generation and mobility.
+	Seed uint64
+}
+
+// normalized fills defaults.
+func (c ESSRoamFaultConfig) normalized() ESSRoamFaultConfig {
+	if c.APs <= 0 {
+		c.APs = 4
+	}
+	if c.Stations <= 0 {
+		c.Stations = 12
+	}
+	if c.RoamRate <= 0 {
+		c.RoamRate = 3
+	}
+	if c.DSLoss <= 0 {
+		c.DSLoss = 0.5
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Minute
+	}
+	return c
+}
+
+// ESSRoamFaultResult reports the roam-under-fault check.
+type ESSRoamFaultResult struct {
+	// Cold, Lossy, Warm are the three compared regimes' stats: no
+	// replication, replication over the faulted DS, and lossless
+	// replication.
+	Cold  ess.Stats
+	Lossy ess.Stats
+	Warm  ess.Stats
+	// Mismatch names the first violated property ("" = all held).
+	Mismatch string
+}
+
+// OK reports whether every property held.
+func (r ESSRoamFaultResult) OK() bool { return r.Mismatch == "" }
+
+// RunESSRoamFaultContext drives the churn-under-DS-fault check:
+//
+//   - determinism: the lossy run, repeated with the same seed at
+//     worker counts 1 and 4, produces identical shard fingerprints
+//     and identical stats;
+//   - ordering: lossless replication records zero resync-window
+//     misses, and the faulted DS lands between the warm floor and
+//     the cold ceiling;
+//   - liveness: roams happen in every regime and dropped DS records
+//     are actually observed.
+func RunESSRoamFaultContext(ctx context.Context, cfg ESSRoamFaultConfig) (ESSRoamFaultResult, error) {
+	cfg = cfg.normalized()
+
+	run := func(replicate bool, dsLoss float64, workers int) ([]uint64, ess.Stats, error) {
+		tr, err := oracleTrace(cfg.Scenario, cfg.Seed, cfg.Duration)
+		if err != nil {
+			return nil, ess.Stats{}, err
+		}
+		open := sortedPorts(trace.OpenPortsForFraction(tr, 0.10))
+		e, err := ess.New(ess.Config{
+			APs: cfg.APs,
+			Network: core.NetworkConfig{
+				DTIMPeriod: 1,
+				HIDE:       true,
+				Harden:     true,
+				Seed:       cfg.Seed,
+			},
+			Replicate: replicate,
+			RoamRate:  cfg.RoamRate,
+			RoamSeed:  cfg.Seed ^ 0xa24baed4963ee407,
+			DSLoss:    dsLoss,
+			Workers:   workers,
+		})
+		if err != nil {
+			return nil, ess.Stats{}, err
+		}
+		var digests []*airDigest
+		for _, sh := range e.Shards() {
+			d := newAirDigest()
+			sh.Net.Medium.SetTap(d.tap)
+			digests = append(digests, d)
+		}
+		for i := 0; i < cfg.Stations; i++ {
+			if _, err := e.AddStation(station.HIDE, open, 1); err != nil {
+				return nil, ess.Stats{}, err
+			}
+		}
+		if err := e.RunContext(ctx, tr); err != nil {
+			return nil, ess.Stats{}, err
+		}
+		fps := make([]uint64, len(digests))
+		for i, d := range digests {
+			fps[i] = d.h.Sum64()
+		}
+		return fps, e.Stats(), nil
+	}
+
+	var res ESSRoamFaultResult
+	fail := func(format string, args ...any) (ESSRoamFaultResult, error) {
+		res.Mismatch = fmt.Sprintf(format, args...)
+		return res, nil
+	}
+
+	lossyFP1, lossy1, err := run(true, cfg.DSLoss, 1)
+	if err != nil {
+		return res, err
+	}
+	lossyFP4, lossy4, err := run(true, cfg.DSLoss, 4)
+	if err != nil {
+		return res, err
+	}
+	res.Lossy = lossy1
+	_, cold, err := run(false, 0, 0)
+	if err != nil {
+		return res, err
+	}
+	res.Cold = cold
+	_, warm, err := run(true, 0, 0)
+	if err != nil {
+		return res, err
+	}
+	res.Warm = warm
+
+	if lossy1 != lossy4 {
+		return fail("lossy-DS stats diverged across worker counts: %+v vs %+v", lossy1, lossy4)
+	}
+	for i := range lossyFP1 {
+		if lossyFP1[i] != lossyFP4[i] {
+			return fail("shard %d fingerprint diverged across worker counts: %016x vs %016x", i, lossyFP1[i], lossyFP4[i])
+		}
+	}
+	if cold.Roams == 0 || warm.Roams == 0 || lossy1.Roams == 0 {
+		return fail("churn inert: cold %d, warm %d, lossy %d roams", cold.Roams, warm.Roams, lossy1.Roams)
+	}
+	if warm.ResyncWindowMisses != 0 {
+		return fail("lossless replication recorded %d resync-window misses, want 0", warm.ResyncWindowMisses)
+	}
+	if cold.ResyncWindowMisses == 0 {
+		return fail("cold handoffs recorded no resync-window misses (no window to measure)")
+	}
+	if lossy1.ResyncWindowMisses > cold.ResyncWindowMisses {
+		return fail("faulted DS missed more than cold handoffs: %d > %d", lossy1.ResyncWindowMisses, cold.ResyncWindowMisses)
+	}
+	if lossy1.DSRecordsDropped == 0 {
+		return fail("DS fault inert: no replication records dropped at DSLoss=%v", cfg.DSLoss)
+	}
+	return res, nil
+}

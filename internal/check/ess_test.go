@@ -1,0 +1,70 @@
+package check
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// TestESSEquivMatrix proves the K=1 ESS is byte-identical to the
+// single-AP Network across the full acceptance grid: three policies ×
+// three scenario traces.
+func TestESSEquivMatrix(t *testing.T) {
+	m := DefaultESSEquivMatrix()
+	m.Config = ESSEquivConfig{Duration: 90 * time.Second, Seed: 17}
+	res, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 9 {
+		t.Fatalf("got %d cells, want 9", len(res.Results))
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Results {
+		if c.Frames == 0 {
+			t.Fatalf("%v: empty frame stream", c.Cell)
+		}
+	}
+}
+
+// TestESSEquivCellDetectsDivergence makes sure the comparison has
+// teeth: mismatched policies on the two sides must be flagged.
+func TestESSEquivCellDetectsDivergence(t *testing.T) {
+	tr, err := oracleTrace(trace.Starbucks, 21, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := sortedPorts(trace.OpenPortsForFraction(tr, 0.10))
+	net, err := runNetworkSide(tr, policy.ReceiveAll, open, 21, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := runESSSide(context.Background(), tr, policy.HIDE, open, 21, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffSides(es, net, 2, ESSEquivConfig{}.normalized().equiv(), tr.Duration); d == "" {
+		t.Fatal("HIDE and ReceiveAll sides compared equal")
+	}
+}
+
+// TestESSRoamFault drives the churn-under-DS-fault check end to end.
+func TestESSRoamFault(t *testing.T) {
+	res, err := RunESSRoamFaultContext(context.Background(), ESSRoamFaultConfig{Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("roam-fault check failed: %s\ncold: %+v\nlossy: %+v\nwarm: %+v",
+			res.Mismatch, res.Cold, res.Lossy, res.Warm)
+	}
+	// The lossy DS must actually have been exercised.
+	if res.Lossy.DSRecordsDropped == 0 {
+		t.Fatal("no DS records dropped under DSLoss")
+	}
+}

@@ -29,11 +29,12 @@ type Network struct {
 	cohorts []*station.CohortStation
 	monitor *Monitor
 
-	seed        uint64
-	harden      bool
-	portRefresh time.Duration // station-side TTL refresh cadence when hardened
-	used        int           // station MAC addresses consumed (cohort members included)
-	aidsUsed    int           // AIDs the attached stations will consume once associated
+	seed          uint64
+	harden        bool
+	portRefresh   time.Duration // station-side TTL refresh cadence when hardened
+	refreshJitter float64       // per-station refresh desynchronization factor
+	used          int           // station MAC addresses consumed (cohort members included)
+	aidsUsed      int           // AIDs the attached stations will consume once associated
 }
 
 // netEntry pairs a station with its configuration.
@@ -70,8 +71,25 @@ type NetworkConfig struct {
 	// protocol behaves exactly as the paper describes (and as the
 	// golden figures record).
 	Harden bool
+	// RefreshJitter desynchronizes the hardened port-refresh cadence:
+	// each station's PortRefresh interval is stretched by a
+	// deterministic per-station factor drawn uniformly from
+	// [1, 1+RefreshJitter]. All stations join at t=0 and share the
+	// same refresh period, so without jitter every refresh round lands
+	// in the same beacon interval — the N≳500 congestion collapse the
+	// million-client experiments record, where refresh traffic alone
+	// saturates the channel. Values around 1.0 (a full period of
+	// spread) break the phase lock. Zero keeps the synchronized
+	// cadence and is byte-identical to builds without the knob.
+	// Ignored unless Harden is set (legacy stations never refresh).
+	RefreshJitter float64
 	// Seed drives the medium's fault RNG and the stations' jitter RNGs.
 	Seed uint64
+	// BSSID overrides the AP's MAC address (zero selects the default).
+	// ESS shards use it to give every AP a distinct address while
+	// shard 0 keeps the single-AP default, so a K=1 ESS is
+	// byte-identical to a plain Network.
+	BSSID dot11.MACAddr
 }
 
 // NewNetwork builds an engine, medium, and AP.
@@ -113,7 +131,10 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		portTTL = 8 * dtimSpan
 	}
 
-	bssid := dot11.MACAddr{0x02, 0x1d, 0xe0, 0x00, 0x00, 0x01}
+	bssid := cfg.BSSID
+	if bssid == (dot11.MACAddr{}) {
+		bssid = dot11.MACAddr{0x02, 0x1d, 0xe0, 0x00, 0x00, 0x01}
+	}
 	a := ap.New(eng, med, ap.Config{
 		BSSID:          bssid,
 		SSID:           cfg.SSID,
@@ -126,6 +147,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	return &Network{
 		Engine: eng, Medium: med, AP: a, BSSID: bssid, SSID: cfg.SSID,
 		seed: cfg.Seed, harden: cfg.Harden, portRefresh: 3 * dtimSpan,
+		refreshJitter: cfg.RefreshJitter,
 	}, nil
 }
 
@@ -143,6 +165,21 @@ func (n *Network) AddStation(mode station.Mode, openPorts []uint16) (*station.St
 // beacon loop, and runs the simulation for the trace duration plus
 // one beacon interval of drain time.
 func (n *Network) Replay(tr *trace.Trace) error {
+	if err := n.ScheduleReplay(tr); err != nil {
+		return err
+	}
+	n.Engine.RunUntil(tr.Duration + dot11.DefaultBeaconInterval)
+	return nil
+}
+
+// ScheduleReplay is Replay without the run: it validates the trace,
+// starts the beacon loop, and schedules every frame, leaving the
+// engine untouched so the caller drives it — the ESS advances all
+// shard engines in lockstep windows instead of one RunUntil. A plain
+// Replay is ScheduleReplay followed by RunUntil(Duration + one beacon
+// interval), and the ESS's final window lands on exactly that
+// deadline, which is what makes a roam-free K=1 ESS byte-identical.
+func (n *Network) ScheduleReplay(tr *trace.Trace) error {
 	if err := tr.Validate(); err != nil {
 		return err
 	}
@@ -169,7 +206,6 @@ func (n *Network) Replay(tr *trace.Trace) error {
 			return fmt.Errorf("core: scheduling trace frame: %w", err)
 		}
 	}
-	n.Engine.RunUntil(tr.Duration + dot11.DefaultBeaconInterval)
 	return nil
 }
 
@@ -230,9 +266,27 @@ func (n *Network) stationConfig(idx int, mode station.Mode, li int) (station.Con
 	}
 	if n.harden {
 		scfg.PortRefresh = n.portRefresh
+		if n.refreshJitter > 0 {
+			// A per-station factor in [1, 1+jitter] drawn from a
+			// station-indexed stream: deterministic for a given
+			// (Seed, idx) no matter how many stations exist or in
+			// what order they attach.
+			u := sim.NewRNG(n.seed ^ (0x9e3779b97f4a7c15 * uint64(idx))).Float64()
+			scfg.PortRefresh = time.Duration(float64(n.portRefresh) * (1 + n.refreshJitter*u))
+		}
 		scfg.MissedBeaconFailSafe = true
 	}
 	return scfg, nil
+}
+
+// StationConfigAt exposes the station.Config the network would build
+// for station number idx (1-based, the same numbering AddStation
+// uses), including the hardening and refresh-jitter knobs. The ESS
+// uses it to create stations with globally-unique addresses across
+// shards while keeping the exact per-station configuration a plain
+// Network would produce — the K=1 byte-identity proof depends on it.
+func (n *Network) StationConfigAt(idx int, mode station.Mode, li int) (station.Config, error) {
+	return n.stationConfig(idx, mode, li)
 }
 
 // AddStationListenInterval is AddStation with an 802.11 listen

@@ -33,6 +33,12 @@ type ScalePoint struct {
 // Station i listens on a port drawn round-robin from the trace's port
 // set, so usefulness is spread across the population.
 func ScaleClients(tr *trace.Trace, dev energy.Profile, sizes []int) ([]ScalePoint, error) {
+	return scaleIndividual(NetworkConfig{HIDE: true}, tr, dev, sizes)
+}
+
+// scaleIndividual is the individually-modeled-station scaling path,
+// parameterized by the network configuration.
+func scaleIndividual(cfg NetworkConfig, tr *trace.Trace, dev energy.Profile, sizes []int) ([]ScalePoint, error) {
 	hist := tr.PortHistogram()
 	var ports []uint16
 	for p := range hist {
@@ -48,7 +54,7 @@ func ScaleClients(tr *trace.Trace, dev energy.Profile, sizes []int) ([]ScalePoin
 		if n < 1 {
 			return nil, fmt.Errorf("core: population %d < 1", n)
 		}
-		net, err := NewNetwork(NetworkConfig{HIDE: true})
+		net, err := NewNetwork(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -92,8 +98,18 @@ func ScaleClients(tr *trace.Trace, dev energy.Profile, sizes []int) ([]ScalePoin
 // (port i serves ⌈n/len(ports)⌉ or ⌊n/len(ports)⌋ members); per-station
 // energy comes from one member per cohort scaled by the cohort width.
 func ScaleClientsOptions(tr *trace.Trace, dev energy.Profile, sizes []int, opts Options) ([]ScalePoint, error) {
+	return ScaleClientsNetwork(NetworkConfig{HIDE: true}, tr, dev, sizes, opts)
+}
+
+// ScaleClientsNetwork is ScaleClientsOptions with an explicit network
+// configuration, for scaling studies that need protocol knobs beyond
+// the default BSS — hardened fail-safes, refresh jitter, custom DTIM
+// periods. cfg.HIDE is forced on: the experiment measures the HIDE
+// control plane.
+func ScaleClientsNetwork(cfg NetworkConfig, tr *trace.Trace, dev energy.Profile, sizes []int, opts Options) ([]ScalePoint, error) {
+	cfg.HIDE = true
 	if opts.Cohort <= 1 {
-		return ScaleClients(tr, dev, sizes)
+		return scaleIndividual(cfg, tr, dev, sizes)
 	}
 	hist := tr.PortHistogram()
 	var ports []uint16
@@ -110,7 +126,7 @@ func ScaleClientsOptions(tr *trace.Trace, dev energy.Profile, sizes []int, opts 
 		if n < 1 {
 			return nil, fmt.Errorf("core: population %d < 1", n)
 		}
-		net, err := NewNetwork(NetworkConfig{HIDE: true})
+		net, err := NewNetwork(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -182,4 +198,45 @@ func DefaultScaleCohorts(dev energy.Profile) ([]ScalePoint, error) {
 		return nil, err
 	}
 	return ScaleClientsOptions(tr, dev, []int{2007, 100_000, 1_000_000}, Options{Cohort: 1 << 30})
+}
+
+// RefreshJitterPoint is one cell of the hardened-refresh congestion
+// study: the scaling metrics for one jitter setting.
+type RefreshJitterPoint struct {
+	// Jitter is the NetworkConfig.RefreshJitter fraction.
+	Jitter float64
+	ScalePoint
+}
+
+// DefaultRefreshJitterStudy measures the large-population
+// port-message congestion collapse and its mitigation. With hardening
+// on, every client re-sends its UDP Port Message on the same fixed
+// TTL-refresh cadence; in populations of N≳500 individually-modeled
+// stations the refreshes phase-lock into periodic uplink storms whose
+// ACK-timeout retries amplify the load further, and past ~700 the
+// wasted airtime starts displacing useful downlink deliveries.
+// RefreshJitter draws each station a deterministic per-station factor
+// stretching its cadence across [interval, interval·(1+jitter)],
+// breaking the phase lock. The study sweeps jitter at the onset
+// (N=500) and inside the collapse (N=700); jitter well past 1 starts
+// trading refresh storms for TTL-expiry filtering gaps, so the sweep
+// stops there.
+func DefaultRefreshJitterStudy(dev energy.Profile) ([]RefreshJitterPoint, error) {
+	tr, err := defaultScaleTrace()
+	if err != nil {
+		return nil, err
+	}
+	var out []RefreshJitterPoint
+	for _, n := range []int{500, 700} {
+		for _, j := range []float64{0, 0.5, 1.0} {
+			pts, err := ScaleClientsNetwork(
+				NetworkConfig{HIDE: true, Harden: true, RefreshJitter: j},
+				tr, dev, []int{n}, Options{})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, RefreshJitterPoint{Jitter: j, ScalePoint: pts[0]})
+		}
+	}
+	return out, nil
 }

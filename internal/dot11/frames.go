@@ -287,6 +287,8 @@ const (
 	KindAssocRequest
 	KindAssocResponse
 	KindDisassoc
+	KindReassocRequest
+	KindReassocResponse
 )
 
 // String returns the name of the frame kind.
@@ -308,6 +310,10 @@ func (k FrameKind) String() string {
 		return "assoc-response"
 	case KindDisassoc:
 		return "disassoc"
+	case KindReassocRequest:
+		return "reassoc-request"
+	case KindReassocResponse:
+		return "reassoc-response"
 	default:
 		return "unknown"
 	}
@@ -330,6 +336,10 @@ func Classify(raw []byte) FrameKind {
 		return KindAssocResponse
 	case fc.Type == TypeManagement && fc.Subtype == SubtypeDisassoc:
 		return KindDisassoc
+	case fc.Type == TypeManagement && fc.Subtype == SubtypeReassocRequest:
+		return KindReassocRequest
+	case fc.Type == TypeManagement && fc.Subtype == SubtypeReassocResponse:
+		return KindReassocResponse
 	case fc.Type == TypeControl && fc.Subtype == SubtypeACK:
 		return KindACK
 	case fc.Type == TypeControl && fc.Subtype == SubtypePSPoll:

@@ -36,6 +36,16 @@ func seedCorpus(f *testing.F) {
 	if raw, err := resp.Marshal(); err == nil {
 		f.Add(raw)
 	}
+	rreq := &ReassocRequest{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}, CurrentAP: apAddr, SSID: "x", Ports: []uint16{5353}}
+	if raw, err := rreq.Marshal(); err == nil {
+		f.Add(raw)
+	}
+	rresp := &ReassocResponse{Header: MACHeader{Addr1: c1Addr, Addr2: apAddr, Addr3: apAddr}, AID: 9, HIDESupported: true}
+	if raw, err := rresp.Marshal(); err == nil {
+		f.Add(raw)
+	}
+	dis := &Disassoc{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}, Reason: ReasonStationLeft}
+	f.Add(dis.Marshal())
 	f.Add([]byte{})
 	f.Add([]byte{0x80, 0x00})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
@@ -103,6 +113,60 @@ func FuzzUnmarshalAssocFrames(f *testing.F) {
 			}
 			if _, err := r.Marshal(); err != nil {
 				t.Fatalf("re-marshal failed: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalRoamFrames drives the roaming-path decoders
+// (reassociation request/response, disassociation): none may panic,
+// Classify must agree with any successful decode, and decoded frames
+// must re-encode round-trip clean.
+func FuzzUnmarshalRoamFrames(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if r, err := UnmarshalReassocRequest(raw); err == nil {
+			if Classify(raw) != KindReassocRequest {
+				t.Fatal("Classify disagrees with UnmarshalReassocRequest")
+			}
+			out, err := r.Marshal()
+			if err != nil {
+				t.Fatalf("re-marshal failed: %v", err)
+			}
+			r2, err := UnmarshalReassocRequest(out)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if r2.CurrentAP != r.CurrentAP || r2.SSID != r.SSID || len(r2.Ports) != len(r.Ports) {
+				t.Fatal("reassoc request fields drifted across re-encode")
+			}
+		}
+		if r, err := UnmarshalReassocResponse(raw); err == nil {
+			if Classify(raw) != KindReassocResponse {
+				t.Fatal("Classify disagrees with UnmarshalReassocResponse")
+			}
+			out, err := r.Marshal()
+			if err != nil {
+				t.Fatalf("re-marshal failed: %v", err)
+			}
+			r2, err := UnmarshalReassocResponse(out)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if r2.AID != r.AID || r2.Status != r.Status || r2.HIDESupported != r.HIDESupported {
+				t.Fatal("reassoc response fields drifted across re-encode")
+			}
+		}
+		if d, err := UnmarshalDisassoc(raw); err == nil {
+			if Classify(raw) != KindDisassoc {
+				t.Fatal("Classify disagrees with UnmarshalDisassoc")
+			}
+			d2, err := UnmarshalDisassoc(d.Marshal())
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if d2.Reason != d.Reason {
+				t.Fatal("disassoc reason drifted across re-encode")
 			}
 		}
 	})

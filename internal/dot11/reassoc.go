@@ -1,0 +1,172 @@
+package dot11
+
+import "fmt"
+
+// Reassociation management frames (subtypes 0010/0011): a station
+// moving between APs of the same ESS re-associates with the new AP,
+// naming its current AP so the distribution system can migrate
+// station state. HIDE reuses the association-exchange piggyback: the
+// reassociation request may carry Open UDP Ports elements so the new
+// AP's Client UDP Port Table is seeded before the first suspend even
+// on a cold handoff.
+
+// Management subtypes for the reassociation exchange.
+const (
+	SubtypeReassocRequest  uint8 = 0b0010
+	SubtypeReassocResponse uint8 = 0b0011
+)
+
+// ReassocRequest is a reassociation request. CurrentAP names the AP
+// the station is roaming away from. As with AssocRequest, a non-nil
+// Ports marks the station HIDE-capable.
+type ReassocRequest struct {
+	Header     MACHeader
+	Capability uint16
+	CurrentAP  MACAddr
+	SSID       string
+	// Ports is the open UDP port set carried on the roam; nil means the
+	// station is a legacy (non-HIDE) client.
+	Ports []uint16
+	// HIDECapable marks the station as understanding BTIM elements.
+	// Set implicitly when Ports is non-nil.
+	HIDECapable bool
+}
+
+// reassocReqFixedLen is capability (2) + listen interval (2) +
+// current AP address (6).
+const reassocReqFixedLen = 10
+
+// Marshal encodes the reassociation request.
+func (r *ReassocRequest) Marshal() ([]byte, error) {
+	hdr := r.Header
+	hdr.FC.Type = TypeManagement
+	hdr.FC.Subtype = SubtypeReassocRequest
+	out := make([]byte, MACHeaderLen+reassocReqFixedLen, MACHeaderLen+reassocReqFixedLen+32)
+	hdr.marshalInto(out)
+	p := out[MACHeaderLen:]
+	putUint16(p, r.Capability)
+	copy(p[4:], r.CurrentAP[:])
+	var err error
+	if out, err = (Element{ID: ElementIDSSID, Body: []byte(r.SSID)}).AppendTo(out); err != nil {
+		return nil, err
+	}
+	if r.HIDECapable || r.Ports != nil {
+		ports := r.Ports
+		for {
+			n := len(ports)
+			if n > MaxPortsPerElement {
+				n = MaxPortsPerElement
+			}
+			e, err := OpenUDPPorts{Ports: ports[:n]}.Element()
+			if err != nil {
+				return nil, err
+			}
+			if out, err = e.AppendTo(out); err != nil {
+				return nil, err
+			}
+			ports = ports[n:]
+			if len(ports) == 0 {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalReassocRequest decodes a reassociation request.
+func UnmarshalReassocRequest(raw []byte) (*ReassocRequest, error) {
+	hdr, err := unmarshalMACHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.FC.Type != TypeManagement || hdr.FC.Subtype != SubtypeReassocRequest {
+		return nil, fmt.Errorf("%w: %v/%d, want reassoc request", ErrBadFrameType, hdr.FC.Type, hdr.FC.Subtype)
+	}
+	if len(raw) < MACHeaderLen+reassocReqFixedLen {
+		return nil, fmt.Errorf("%w: %d bytes for reassoc request", ErrShortFrame, len(raw))
+	}
+	p := raw[MACHeaderLen:]
+	r := &ReassocRequest{Header: hdr, Capability: getUint16(p)}
+	copy(r.CurrentAP[:], p[4:])
+	elems, err := ParseElements(p[reassocReqFixedLen:])
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range elems {
+		switch e.ID {
+		case ElementIDSSID:
+			r.SSID = string(e.Body)
+		case ElementIDOpenUDPPorts:
+			o, err := ParseOpenUDPPorts(e)
+			if err != nil {
+				return nil, err
+			}
+			r.HIDECapable = true
+			if r.Ports == nil {
+				r.Ports = []uint16{}
+			}
+			r.Ports = append(r.Ports, o.Ports...)
+		}
+	}
+	return r, nil
+}
+
+// ReassocResponse is a reassociation response. It carries the same
+// fixed body as AssocResponse; only the subtype differs.
+type ReassocResponse struct {
+	Header     MACHeader
+	Capability uint16
+	Status     uint16
+	AID        AID
+	// HIDESupported tells the station the AP will send BTIM elements.
+	HIDESupported bool
+}
+
+// Marshal encodes the reassociation response.
+func (r *ReassocResponse) Marshal() ([]byte, error) {
+	hdr := r.Header
+	hdr.FC.Type = TypeManagement
+	hdr.FC.Subtype = SubtypeReassocResponse
+	out := make([]byte, MACHeaderLen+assocRespFixedLen, MACHeaderLen+assocRespFixedLen+4)
+	hdr.marshalInto(out)
+	p := out[MACHeaderLen:]
+	putUint16(p, r.Capability)
+	putUint16(p[2:], r.Status)
+	putUint16(p[4:], uint16(r.AID)|0xc000)
+	if r.HIDESupported {
+		var err error
+		if out, err = (Element{ID: hideSupportElementID}).AppendTo(out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalReassocResponse decodes a reassociation response.
+func UnmarshalReassocResponse(raw []byte) (*ReassocResponse, error) {
+	hdr, err := unmarshalMACHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.FC.Type != TypeManagement || hdr.FC.Subtype != SubtypeReassocResponse {
+		return nil, fmt.Errorf("%w: %v/%d, want reassoc response", ErrBadFrameType, hdr.FC.Type, hdr.FC.Subtype)
+	}
+	if len(raw) < MACHeaderLen+assocRespFixedLen {
+		return nil, fmt.Errorf("%w: %d bytes for reassoc response", ErrShortFrame, len(raw))
+	}
+	p := raw[MACHeaderLen:]
+	r := &ReassocResponse{
+		Header:     hdr,
+		Capability: getUint16(p),
+		Status:     getUint16(p[2:]),
+		AID:        AID(getUint16(p[4:]) &^ 0xc000),
+	}
+	elems, err := ParseElements(p[assocRespFixedLen:])
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := FindElement(elems, hideSupportElementID); ok {
+		r.HIDESupported = true
+	}
+	return r, nil
+}

@@ -1,0 +1,152 @@
+package dot11
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReassocRequestRoundTrip(t *testing.T) {
+	req := &ReassocRequest{
+		Header:      MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr, Seq: 9 << 4},
+		Capability:  0x0431,
+		CurrentAP:   MACAddr{0x02, 0x1d, 0xe0, 0x00, 0x00, 0x07},
+		SSID:        "hide-ess",
+		HIDECapable: true,
+		Ports:       []uint16{53, 5353, 17500},
+	}
+	raw, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Classify(raw) != KindReassocRequest {
+		t.Fatalf("Classify = %v", Classify(raw))
+	}
+	got, err := UnmarshalReassocRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SSID != req.SSID || got.Capability != req.Capability {
+		t.Errorf("fixed fields: %+v", got)
+	}
+	if got.CurrentAP != req.CurrentAP {
+		t.Errorf("current AP = %v, want %v", got.CurrentAP, req.CurrentAP)
+	}
+	if !got.HIDECapable {
+		t.Error("HIDE capability lost")
+	}
+	if len(got.Ports) != 3 || got.Ports[1] != 5353 {
+		t.Errorf("ports = %v", got.Ports)
+	}
+}
+
+func TestReassocRequestLegacy(t *testing.T) {
+	req := &ReassocRequest{
+		Header:    MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr},
+		CurrentAP: apAddr,
+		SSID:      "net",
+	}
+	raw, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReassocRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HIDECapable || got.Ports != nil {
+		t.Errorf("legacy request decoded as HIDE: %+v", got)
+	}
+}
+
+func TestReassocResponseRoundTrip(t *testing.T) {
+	resp := &ReassocResponse{
+		Header:        MACHeader{Addr1: c1Addr, Addr2: apAddr, Addr3: apAddr},
+		Capability:    0x0401,
+		Status:        StatusSuccess,
+		AID:           1777,
+		HIDESupported: true,
+	}
+	raw, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Classify(raw) != KindReassocResponse {
+		t.Fatalf("Classify = %v", Classify(raw))
+	}
+	got, err := UnmarshalReassocResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AID != 1777 || got.Status != StatusSuccess || !got.HIDESupported {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestReassocWrongSubtypeRejected(t *testing.T) {
+	// A reassoc decoder must refuse the plain-assoc subtype and vice
+	// versa — the wire formats overlap deliberately, the subtype is the
+	// only discriminator.
+	areq := &AssocRequest{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}}
+	raw, err := areq.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalReassocRequest(raw); err == nil {
+		t.Error("UnmarshalReassocRequest accepted an assoc request")
+	}
+	rreq := &ReassocRequest{Header: MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr}}
+	raw2, err := rreq.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalAssocRequest(raw2); err == nil {
+		t.Error("UnmarshalAssocRequest accepted a reassoc request")
+	}
+	rresp := &ReassocResponse{Header: MACHeader{Addr1: c1Addr, Addr2: apAddr, Addr3: apAddr}}
+	raw3, err := rresp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalAssocResponse(raw3); err == nil {
+		t.Error("UnmarshalAssocResponse accepted a reassoc response")
+	}
+	if _, err := UnmarshalReassocResponse(raw3); err != nil {
+		t.Errorf("UnmarshalReassocResponse rejected its own frame: %v", err)
+	}
+}
+
+func TestReassocRequestRoundTripProperty(t *testing.T) {
+	f := func(cap uint16, cur [6]byte, ssid string, ports []uint16) bool {
+		if len(ssid) > 32 {
+			ssid = ssid[:32]
+		}
+		req := &ReassocRequest{
+			Header:      MACHeader{Addr1: apAddr, Addr2: c1Addr, Addr3: apAddr},
+			Capability:  cap,
+			CurrentAP:   MACAddr(cur),
+			SSID:        ssid,
+			HIDECapable: true,
+			Ports:       ports,
+		}
+		raw, err := req.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalReassocRequest(raw)
+		if err != nil {
+			return false
+		}
+		if got.SSID != ssid || got.Capability != cap || got.CurrentAP != MACAddr(cur) || len(got.Ports) != len(ports) {
+			return false
+		}
+		for i := range ports {
+			if got.Ports[i] != ports[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

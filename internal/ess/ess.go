@@ -1,0 +1,602 @@
+// Package ess assembles an Extended Service Set: K HIDE-capable APs,
+// each owning its own medium shard and event loop, joined by a
+// distribution-system (DS) channel, with clients that roam between
+// the APs via disassociation/reassociation frames.
+//
+// # Execution model
+//
+// Each AP shard is a complete single-BSS simulation — an engine, a
+// medium, an AP, and the stations currently homed there — built from
+// the same core.Network assembly the single-AP runs use. The ESS
+// advances all shards in lockstep windows: every shard's engine runs
+// to the same barrier instant (one goroutine per shard, bounded by
+// Config.Workers), and all cross-shard effects — roams and DS
+// directory merges — are applied serially at the barrier, in client
+// index order. During a window shards share nothing mutable (each
+// appends to its own DS queue and reads the directory that is only
+// written between windows), so the run is byte-identical for any
+// worker count, and a roam-free K=1 ESS replays exactly the event
+// sequence of a plain core.Network — the equivalence the check
+// package proves.
+//
+// # Roaming
+//
+// Mobility is seed-driven: at each barrier every client tosses a
+// deterministic RNG against the per-window roam probability and, on a
+// hit, moves to a uniformly chosen other AP. The handoff is
+// firmware-level — the host stays suspended — so the station's open
+// ports are NOT re-sent in the reassociation request. What happens to
+// the Client UDP Port Table distinguishes the two policies under
+// study:
+//
+//   - Cold (Replicate false): the new AP knows nothing about the
+//     client's ports. Its BTIM bits stay clear until the client's
+//     next port sync (the hardened TTL-refresh piggyback, or the next
+//     host wake) — the resync window, during which every wanted
+//     broadcast frame is silently hidden from the client.
+//   - Replicated (Replicate true): every port set an AP learns from
+//     the air is exported to the DS at the next barrier, and the
+//     roam-target AP seeds its table from the replicated directory at
+//     reassociation time — no resync window, at the cost of DS
+//     traffic.
+//
+// Stats counts both the wanted-frame misses and the subset
+// attributable to resync windows, so the energy/miss cost of cold
+// versus replicated handoffs can be quantified across churn rates.
+package ess
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/station"
+	"repro/internal/trace"
+)
+
+// essBSSIDBase anchors shard BSSIDs: AP k lives at AddrAdd(base, k+1),
+// so shard 0 owns the single-AP default {..., 0x00, 0x01} and a K=1
+// ESS keeps the exact BSSID a plain core.Network would use.
+var essBSSIDBase = dot11.MACAddr{0x02, 0x1d, 0xe0, 0x00, 0x00, 0x00}
+
+// maxAPs keeps the BSSID block clear of the station address space,
+// which starts 0x010000 addresses above the AP base.
+const maxAPs = 0xfffe
+
+// Config configures New.
+type Config struct {
+	// APs is the number of access points K (default 1).
+	APs int
+	// Network is the per-shard assembly template. Shard k derives its
+	// seed as Network.Seed+k and its BSSID from the ESS block; the
+	// SSID, DTIM cadence, HIDE/Harden knobs, and loss probability are
+	// shared by every AP of the ESS.
+	Network core.NetworkConfig
+	// FaultFor, when set, builds shard k's fault plan. Network.Fault
+	// must stay nil when APs > 1: plans may be stateful and a single
+	// instance cannot be shared across shard goroutines.
+	FaultFor func(shard int) fault.Plan
+	// Window is the barrier spacing (default one beacon interval).
+	// Roams and DS merges happen only at window barriers.
+	Window time.Duration
+	// Replicate selects the warm-handoff policy: port tables are
+	// proactively replicated over the DS and seeded into the
+	// roam-target AP at reassociation time. False leaves handoffs
+	// cold — BTIM filtering resumes only after the client's next UDP
+	// Port Message.
+	Replicate bool
+	// RoamRate is the expected number of roams per client per minute.
+	// Zero disables mobility.
+	RoamRate float64
+	// RoamSeed drives the mobility and DS-loss RNGs.
+	RoamSeed uint64
+	// DSLoss is the probability that one replicated record is lost in
+	// the distribution system (dropped at the merge barrier) — the
+	// chaos knob the roam-under-fault suite targets.
+	DSLoss float64
+	// Workers bounds the shard parallelism: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces the sequential path. The
+	// result is byte-identical for any value.
+	Workers int
+}
+
+// Stats aggregates ESS-level protocol activity.
+type Stats struct {
+	// Roams counts completed handoffs (cohort handoffs included);
+	// CohortRoams is the cohort subset.
+	Roams       int
+	CohortRoams int
+	// RoamsDeferred counts mobility hits that could not move the
+	// client this window (mid-handshake cohorts, crashed or
+	// unassociated stations).
+	RoamsDeferred int
+	// Reassociations sums the reassociation exchanges served by all
+	// APs (retries make it ≥ Roams for station roams).
+	Reassociations int
+	// DSRecordsReplicated and DSRecordsDropped count port-table
+	// records merged into, and lost on the way to, the DS directory.
+	DSRecordsReplicated int
+	DSRecordsDropped    int
+	// PortsSeededOnRoam counts port-table entries seeded at
+	// reassociation time from the replicated directory.
+	PortsSeededOnRoam int
+	// WantedMisses counts buffered group frames a HIDE client
+	// listening on the frame's port slept through because its BTIM
+	// bit was clear; ResyncWindowMisses is the subset incurred while
+	// the client's current AP had no acknowledged copy of its ports —
+	// the cold-handoff cost.
+	WantedMisses       int
+	ResyncWindowMisses int
+}
+
+// dsRecord is one replicated port-table entry in flight to the DS.
+type dsRecord struct {
+	addr  dot11.MACAddr
+	ports []uint16
+}
+
+// homedStation pairs a station with its mode for the miss observer.
+type homedStation struct {
+	st   *station.Station
+	mode station.Mode
+}
+
+// homedCohort pairs a cohort with its mode.
+type homedCohort struct {
+	c    *station.CohortStation
+	mode station.Mode
+}
+
+// Shard is one AP's slice of the ESS: a complete single-BSS assembly
+// plus the DS queue and miss counters local to its event loop.
+type Shard struct {
+	// Net is the shard's single-BSS assembly (engine, medium, AP).
+	Net *core.Network
+
+	idx      int
+	dsQueue  []dsRecord
+	stations []homedStation // clients homed here; mutated only at barriers
+	cohorts  []homedCohort
+
+	wantedMisses int
+	resyncMisses int
+}
+
+// BeaconBuilt implements ap.Observer: on every DTIM with buffered
+// group traffic it charges a wanted-frame miss for each HIDE client
+// homed on this shard that listens on a buffered frame's port but
+// whose BTIM bit is clear. It runs on the shard's event loop and
+// touches only shard-local clients, so windows stay race-free.
+func (sh *Shard) BeaconBuilt(now time.Duration, v ap.BeaconView) {
+	if !v.IsDTIM || len(v.BufferedPorts) == 0 || v.Beacon.BTIM == nil {
+		return
+	}
+	btim := v.Beacon.BTIM
+	for _, h := range sh.stations {
+		if h.mode != station.HIDE || !h.st.Associated() || h.st.Crashed() {
+			continue
+		}
+		wanted := 0
+		for _, p := range v.BufferedPorts {
+			if h.st.ListensOn(p) {
+				wanted++
+			}
+		}
+		if wanted == 0 || btim.UsefulBroadcastBuffered(h.st.AID()) {
+			continue
+		}
+		sh.wantedMisses += wanted
+		if !h.st.Synced() {
+			sh.resyncMisses += wanted
+		}
+	}
+	for _, h := range sh.cohorts {
+		if h.mode != station.HIDE {
+			continue
+		}
+		for _, seg := range h.c.Segments() {
+			if seg.Aggregate() {
+				continue
+			}
+			wanted := 0
+			for _, p := range v.BufferedPorts {
+				if seg.ListensOn(p) {
+					wanted++
+				}
+			}
+			// Members share one port set and one synced port table, so
+			// the first member's bit stands for the block.
+			if wanted == 0 || btim.UsefulBroadcastBuffered(seg.BaseAID()) {
+				continue
+			}
+			sh.wantedMisses += wanted * seg.Count()
+			if !seg.Synced() {
+				sh.resyncMisses += wanted * seg.Count()
+			}
+		}
+	}
+}
+
+// member is one roamable client in global attachment order.
+type member struct {
+	st    *station.Station       // nil for cohorts
+	coh   *station.CohortStation // nil for stations
+	mode  station.Mode
+	shard int
+}
+
+// ESS is the multi-AP assembly. Create with New, populate with
+// AddStation/AddCohort, then drive with RunContext.
+type ESS struct {
+	cfg     Config
+	window  time.Duration
+	shards  []*Shard
+	members []*member
+	dir     map[dot11.MACAddr][]uint16 // DS directory; written only at barriers
+	roamRng *sim.RNG
+	dsRng   *sim.RNG
+	stats   Stats
+	used    int // station addresses consumed (cohort members included)
+	placed  int // Add* calls, for round-robin shard placement
+	now     time.Duration
+}
+
+// New builds K AP shards from the shared network template.
+func New(cfg Config) (*ESS, error) {
+	k := cfg.APs
+	if k <= 0 {
+		k = 1
+	}
+	if k > maxAPs {
+		return nil, fmt.Errorf("ess: %d APs exceeds the BSSID block (max %d)", k, maxAPs)
+	}
+	if k > 1 && cfg.Network.Fault != nil {
+		return nil, fmt.Errorf("ess: Network.Fault cannot be shared across %d shards; use FaultFor", k)
+	}
+	if cfg.Network.BSSID != (dot11.MACAddr{}) {
+		return nil, fmt.Errorf("ess: shard BSSIDs are assigned from the ESS block; Network.BSSID must be zero")
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = dot11.DefaultBeaconInterval
+	}
+	e := &ESS{
+		cfg:     cfg,
+		window:  window,
+		dir:     make(map[dot11.MACAddr][]uint16),
+		roamRng: sim.NewRNG(cfg.RoamSeed ^ 0x9e3779b97f4a7c15),
+		dsRng:   sim.NewRNG(cfg.RoamSeed ^ 0xd1b54a32d192ed03),
+	}
+	for i := 0; i < k; i++ {
+		ncfg := cfg.Network
+		ncfg.Seed += uint64(i)
+		ncfg.BSSID = dot11.AddrAdd(essBSSIDBase, i+1)
+		if cfg.FaultFor != nil {
+			ncfg.Fault = cfg.FaultFor(i)
+		}
+		n, err := core.NewNetwork(ncfg)
+		if err != nil {
+			return nil, fmt.Errorf("ess: shard %d: %w", i, err)
+		}
+		sh := &Shard{Net: n, idx: i}
+		if cfg.Replicate {
+			n.AP.SetPortSync(func(addr dot11.MACAddr, ports []uint16) {
+				sh.dsQueue = append(sh.dsQueue, dsRecord{
+					addr: addr, ports: append([]uint16(nil), ports...),
+				})
+			})
+			n.AP.SetRoamPortLookup(func(addr dot11.MACAddr) []uint16 { return e.dir[addr] })
+		}
+		n.AP.SetObserver(sh)
+		e.shards = append(e.shards, sh)
+	}
+	return e, nil
+}
+
+// Shards returns the AP shards in index order.
+func (e *ESS) Shards() []*Shard { return e.shards }
+
+// Now returns the current barrier time.
+func (e *ESS) Now() time.Duration { return e.now }
+
+// AddStation creates a station homed on the next shard (round-robin)
+// and starts the frame-level association exchange, exactly as
+// core.Network.AddStation does: the station's address, configuration,
+// and hardening knobs come from the shard's own assembly, with the
+// index allocated ESS-globally so addresses stay unique across
+// shards.
+func (e *ESS) AddStation(mode station.Mode, openPorts []uint16, li int) (*station.Station, error) {
+	sh := e.shards[e.placed%len(e.shards)]
+	scfg, err := sh.Net.StationConfigAt(e.used+1, mode, li)
+	if err != nil {
+		return nil, err
+	}
+	st := station.New(sh.Net.Engine, sh.Net.Medium, scfg)
+	for _, p := range openPorts {
+		st.OpenPort(p)
+	}
+	st.StartAssociation(sh.Net.SSID)
+	e.used++
+	e.placed++
+	sh.stations = append(sh.stations, homedStation{st: st, mode: mode})
+	e.members = append(e.members, &member{st: st, mode: mode, shard: sh.idx})
+	return st, nil
+}
+
+// AddCohort creates a cohort homed on the next shard (round-robin)
+// with the same regime selection as core.Network.AddCohort: exact
+// while the block fits the shard AP's free AID space, aggregate
+// beyond. Exact cohorts roam as a unit via the cohort-aware handoff.
+func (e *ESS) AddCohort(mode station.Mode, openPorts []uint16, count, li int) (*station.CohortStation, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("ess: cohort count %d < 1", count)
+	}
+	sh := e.shards[e.placed%len(e.shards)]
+	scfg, err := sh.Net.StationConfigAt(e.used+1, mode, li)
+	if err != nil {
+		return nil, err
+	}
+	if e.used+count+0x010000 > dot11.MaxAddrBlock {
+		return nil, fmt.Errorf("ess: cohort of %d exceeds the station address space", count)
+	}
+	exact := count <= sh.Net.AP.FreeAIDs()
+	c, err := station.NewCohort(sh.Net.Engine, sh.Net.Medium, station.CohortConfig{
+		Config:    scfg,
+		Count:     count,
+		Aggregate: !exact,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range openPorts {
+		c.OpenPort(p)
+	}
+	var first dot11.AID
+	if exact {
+		first, err = sh.Net.AP.AssociateCohort(scfg.Addr, count, mode == station.HIDE)
+	} else {
+		first, err = sh.Net.AP.AssociateAggregate(scfg.Addr, count, mode == station.HIDE)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := c.JoinBlock(first); err != nil {
+		return nil, err
+	}
+	e.used += count
+	e.placed++
+	sh.cohorts = append(sh.cohorts, homedCohort{c: c, mode: mode})
+	e.members = append(e.members, &member{coh: c, mode: mode, shard: sh.idx})
+	return c, nil
+}
+
+// Stations returns the individually-modeled stations in global
+// attachment order, regardless of which shard they currently home on.
+func (e *ESS) Stations() []*station.Station {
+	var out []*station.Station
+	for _, m := range e.members {
+		if m.st != nil {
+			out = append(out, m.st)
+		}
+	}
+	return out
+}
+
+// Cohorts returns the cohorts in global attachment order.
+func (e *ESS) Cohorts() []*station.CohortStation {
+	var out []*station.CohortStation
+	for _, m := range e.members {
+		if m.coh != nil {
+			out = append(out, m.coh)
+		}
+	}
+	return out
+}
+
+// Members returns the number of clients the ESS models, counting
+// cohorts with their multiplicity.
+func (e *ESS) Members() int {
+	n := 0
+	for _, m := range e.members {
+		if m.coh != nil {
+			n += m.coh.Count()
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// StationEnergy prices a station's recorded arrivals with the Section
+// IV model; arrivals and listen interval are station-local, so any
+// shard's assembly can do the pricing.
+func (e *ESS) StationEnergy(st *station.Station, dev energy.Profile, duration time.Duration, withOverhead bool) (energy.Breakdown, error) {
+	return e.shards[0].Net.StationEnergy(st, dev, duration, withOverhead)
+}
+
+// Run is RunContext with a background context.
+func (e *ESS) Run(tr *trace.Trace) error { return e.RunContext(context.Background(), tr) }
+
+// RunContext replays the broadcast trace through every AP (the same
+// upstream broadcast reaches each AP from the distribution system)
+// and drives all shards to the trace end in lockstep windows, merging
+// the DS and applying roams at each barrier. The final window lands
+// on exactly the deadline a plain core.Network.Replay would use, so a
+// roam-free K=1 run is byte-identical to the single-AP path.
+func (e *ESS) RunContext(ctx context.Context, tr *trace.Trace) error {
+	for _, sh := range e.shards {
+		if err := sh.Net.ScheduleReplay(tr); err != nil {
+			return err
+		}
+	}
+	end := tr.Duration + dot11.DefaultBeaconInterval
+	for e.now < end {
+		next := e.now + e.window
+		if next > end {
+			next = end
+		}
+		err := engine.ForEach(ctx, e.cfg.Workers, len(e.shards), func(ctx context.Context, k int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			e.shards[k].Net.Engine.RunUntil(next)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		e.now = next
+		e.mergeDS()
+		if next < end && len(e.shards) > 1 && e.cfg.RoamRate > 0 {
+			if err := e.applyRoams(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergeDS folds every shard's replication queue into the directory,
+// in shard order — the serial barrier step that keeps directory reads
+// race-free during windows. DSLoss drops records here: a lost record
+// leaves the directory holding the previous (possibly stale) entry.
+func (e *ESS) mergeDS() {
+	for _, sh := range e.shards {
+		for _, r := range sh.dsQueue {
+			if e.cfg.DSLoss > 0 && e.dsRng.Float64() < e.cfg.DSLoss {
+				e.stats.DSRecordsDropped++
+				continue
+			}
+			e.dir[r.addr] = r.ports
+			e.stats.DSRecordsReplicated++
+		}
+		sh.dsQueue = sh.dsQueue[:0]
+	}
+}
+
+// applyRoams tosses every client against the per-window roam
+// probability, in global attachment order with a single RNG stream —
+// the same mobility sequence for any worker count.
+func (e *ESS) applyRoams() error {
+	k := len(e.shards)
+	perWindow := e.cfg.RoamRate * e.window.Minutes()
+	if perWindow > 1 {
+		perWindow = 1
+	}
+	for _, m := range e.members {
+		if e.roamRng.Float64() >= perWindow {
+			continue
+		}
+		tgt := int(e.roamRng.Float64() * float64(k-1))
+		if tgt >= k-1 {
+			tgt = k - 2
+		}
+		if tgt >= m.shard {
+			tgt++
+		}
+		if err := e.roam(m, tgt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// roam moves one client from its current shard to tgt at the current
+// barrier. Stations leave with a disassociation frame and reassociate
+// on the new shard; exact cohorts hand off as a block.
+func (e *ESS) roam(m *member, tgt int) error {
+	old, nw := e.shards[m.shard], e.shards[tgt]
+	if m.st != nil {
+		st := m.st
+		if !st.Associated() || st.Crashed() {
+			e.stats.RoamsDeferred++
+			return nil
+		}
+		st.Leave(dot11.ReasonStationLeft)
+		st.Migrate(nw.Net.Engine, nw.Net.Medium, nw.Net.BSSID)
+		st.Reassociate(nw.Net.SSID, old.Net.BSSID)
+		old.removeStation(st)
+		nw.stations = append(nw.stations, homedStation{st: st, mode: m.mode})
+		m.shard = tgt
+		e.stats.Roams++
+		return nil
+	}
+	c := m.coh
+	if err := c.Handoff(nw.Net.Engine, nw.Net.Medium, nw.Net.BSSID); err != nil {
+		// Aggregate, split, or mid-handshake cohorts stay put; the next
+		// mobility hit retries.
+		e.stats.RoamsDeferred++
+		return nil
+	}
+	for i := 0; i < c.Count(); i++ {
+		old.Net.AP.Disassociate(c.MemberAddr(i))
+	}
+	first, err := nw.Net.AP.AssociateCohort(c.BaseAddr(), c.Count(), m.mode == station.HIDE)
+	if err != nil {
+		return fmt.Errorf("ess: cohort roam re-association: %w", err)
+	}
+	if err := c.RejoinBlock(first); err != nil {
+		return err
+	}
+	if e.cfg.Replicate {
+		// Cohorts associate out of band, so the warm seed is applied out
+		// of band too — one directory lookup per member, mirroring what
+		// the AP does for a station's reassociation frame.
+		for i := 0; i < c.Count(); i++ {
+			if ports := e.dir[c.MemberAddr(i)]; ports != nil {
+				nw.Net.AP.Table().UpdateAt(first+dot11.AID(i), ports, e.now)
+				e.stats.PortsSeededOnRoam += len(ports)
+			}
+		}
+	}
+	old.removeCohort(c)
+	nw.cohorts = append(nw.cohorts, homedCohort{c: c, mode: m.mode})
+	m.shard = tgt
+	e.stats.Roams++
+	e.stats.CohortRoams++
+	return nil
+}
+
+// removeStation drops a station from the shard's homed list,
+// preserving order.
+func (sh *Shard) removeStation(st *station.Station) {
+	for i := range sh.stations {
+		if sh.stations[i].st == st {
+			sh.stations = append(sh.stations[:i], sh.stations[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeCohort drops a cohort from the shard's homed list, preserving
+// order.
+func (sh *Shard) removeCohort(c *station.CohortStation) {
+	for i := range sh.cohorts {
+		if sh.cohorts[i].c == c {
+			sh.cohorts = append(sh.cohorts[:i], sh.cohorts[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats sums the barrier-side counters with every shard's local miss
+// and AP counters. Call it after RunContext returns (shard counters
+// are not synchronized during windows).
+func (e *ESS) Stats() Stats {
+	s := e.stats
+	for _, sh := range e.shards {
+		s.WantedMisses += sh.wantedMisses
+		s.ResyncWindowMisses += sh.resyncMisses
+		as := sh.Net.AP.Stats()
+		s.Reassociations += as.Reassociations
+		s.PortsSeededOnRoam += as.PortsSeededOnRoam
+	}
+	return s
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// APIShim enforces the consolidated-surface convention of the public
+// hide package: context-first functions are the canonical API, and any
+// exported non-Context function that shadows a Context variant must be
+// a documented compatibility shim — marked Deprecated: and reduced to
+// a one-line delegation — so the legacy surface can never grow or
+// drift. Adding a new exported FooOptions or bare Foo next to a
+// FooContext without the shim shape is a lint failure; new API lands
+// context-first only.
+var APIShim = &Analyzer{
+	Name: "apishim",
+	Doc: "in the public hide package, an exported Foo or FooOptions alongside a " +
+		"FooContext must be a Deprecated: one-line delegation to FooContext; " +
+		"new exported entry points must be context-first",
+	Run: runAPIShim,
+}
+
+func runAPIShim(p *Pass) error {
+	if p.RelPath() != "" {
+		return nil // only the module root carries the public surface
+	}
+	decls := make(map[string]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv != nil || !fn.Name.IsExported() {
+				continue
+			}
+			decls[fn.Name.Name] = fn
+		}
+	}
+	for name, fn := range decls {
+		if strings.HasSuffix(name, "Context") {
+			continue
+		}
+		target := shimTarget(decls, p, name)
+		if target == "" {
+			continue // no Context variant: an ordinary synchronous helper
+		}
+		if !isDeprecated(fn) {
+			p.Reportf(fn.Pos(), "exported %s shadows %s but is not marked Deprecated:; the Context variant is the canonical entry point", name, target)
+			continue
+		}
+		if !isOneLineDelegation(p, fn, target) {
+			p.Reportf(fn.Pos(), "deprecated %s must be a one-line delegation to %s(context.Background(), ...)", name, target)
+		}
+	}
+	return nil
+}
+
+// shimTarget resolves the Context variant a legacy name shadows:
+// Foo and FooOptions both shadow FooContext.
+func shimTarget(decls map[string]*ast.FuncDecl, p *Pass, name string) string {
+	base := strings.TrimSuffix(name, "Options")
+	for _, cand := range []string{name + "Context", base + "Context"} {
+		if ctx, ok := decls[cand]; ok && firstParamIsContext(p, ctx) {
+			return cand
+		}
+	}
+	return ""
+}
+
+// isDeprecated reports whether fn's doc comment carries a Go-standard
+// Deprecated: marker.
+func isDeprecated(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

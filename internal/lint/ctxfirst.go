@@ -25,6 +25,7 @@ var ctxFirstScope = map[string]bool{
 	"internal/core":   true,
 	"internal/check":  true,
 	"internal/engine": true,
+	"internal/ess":    true,
 }
 
 func runCtxFirst(p *Pass) error {

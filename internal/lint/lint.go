@@ -46,6 +46,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
 		CtxFirst,
+		APIShim,
 		ExitPath,
 		ElemConst,
 		ErrDrop,

@@ -1,0 +1,66 @@
+// Package fixture exercises the apishim analyzer. The test harness
+// analyzes it as the module root, where the public-surface convention
+// applies: Context variants are canonical, legacy names are Deprecated
+// one-line shims.
+package fixture
+
+import "context"
+
+// RunContext is the canonical context-first entry point.
+func RunContext(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Run is the legacy entry point.
+//
+// Deprecated: use RunContext.
+func Run(n int) (int, error) {
+	return RunContext(context.Background(), n)
+}
+
+// RunOptions is the legacy options-bearing entry point.
+//
+// Deprecated: use RunContext.
+func RunOptions(n int) (int, error) {
+	return RunContext(context.Background(), n)
+}
+
+// SweepContext is the canonical variant Sweep fails to defer to.
+func SweepContext(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return 2 * n, nil
+}
+
+// Sweep shadows SweepContext without the Deprecated marker — a new
+// non-context variant sneaking into the surface.
+func Sweep(n int) (int, error) { // want `exported Sweep shadows SweepContext but is not marked Deprecated:`
+	return SweepContext(context.Background(), n)
+}
+
+// WalkContext is the canonical variant Walk drifts from.
+func WalkContext(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n + 1, nil
+}
+
+// Walk is marked deprecated but re-implements the logic instead of
+// delegating, so the two copies can drift.
+//
+// Deprecated: use WalkContext.
+func Walk(n int) (int, error) { // want `deprecated Walk must be a one-line delegation to WalkContext`
+	if n < 0 {
+		return 0, nil
+	}
+	return n + 1, nil
+}
+
+// Summarize has no Context variant: an ordinary synchronous helper,
+// exempt from the convention.
+func Summarize(n int) int { return n * n }

@@ -255,6 +255,25 @@ func (m *Medium) splitEntryAt(i, at int, n Node) int {
 	return i + 1
 }
 
+// Detach removes the entry registered at addr — a single-address node
+// or a whole block based there — from the channel: it stops receiving
+// frames and leaves the broadcast delivery order (later attachers take
+// tail slots as usual). Detaching an unknown address is a no-op.
+// Roaming clients use it when they leave one medium shard for another;
+// a split block's segments detach individually by their own base.
+func (m *Medium) Detach(addr dot11.MACAddr) {
+	if _, ok := m.nodes[addr]; !ok {
+		return
+	}
+	for i := range m.fanout {
+		if m.fanout[i].addr == addr {
+			m.fanout = append(m.fanout[:i], m.fanout[i+1:]...)
+			break
+		}
+	}
+	delete(m.nodes, addr)
+}
+
 // PHY returns the channel's PHY parameters.
 func (m *Medium) PHY() dot11.PHY { return m.phy }
 

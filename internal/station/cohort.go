@@ -517,6 +517,72 @@ func (c *CohortStation) Split(at int) (*CohortStation, error) {
 // one member.
 func (c *CohortStation) JoinBlock(first dot11.AID) error { return c.tmpl.Join(first) }
 
+// Handoff moves the whole cohort segment to another engine, medium
+// shard, and BSSID at a barrier instant (both engines idle at the
+// same virtual time) — the cohort-aware ESS roam. Like the direct
+// association path cohorts already use (ap.AssociateCohort +
+// JoinBlock instead of per-member frames), the handoff is out of
+// band: the caller disassociates the members at the old AP, calls
+// Handoff, associates the block at the new AP, and completes with
+// RejoinBlock. A handoff during an active port-message handshake
+// round is refused — the round's shadow state is pinned to the old
+// engine — so callers defer the roam one window.
+func (c *CohortStation) Handoff(eng *sim.Engine, med medium.BlockChannel, bssid dot11.MACAddr) error {
+	if c.aggregate {
+		return fmt.Errorf("station: aggregate cohorts do not roam (no per-member association to move)")
+	}
+	if c.next != nil {
+		return fmt.Errorf("station: split cohorts do not roam (segments diverged)")
+	}
+	// A round is open while the pre-ACK snapshot is held or the
+	// template awaits its own ACK; a completed round leaves acked ==
+	// count behind, which is not an open round.
+	if c.ackSnap != nil || c.tmpl.awaitingACK {
+		return fmt.Errorf("station: cohort handoff during an active handshake round")
+	}
+	// Attach to the new shard before touching any old-shard state, so a
+	// refused attach leaves the cohort exactly where it was.
+	if err := med.AttachBlock(c.base, c.count, c); err != nil {
+		return err
+	}
+	c.acked = 0
+	c.checkEv.Cancel()
+	c.tmpl.suspendEv.Cancel()
+	c.tmpl.ackTimer.Cancel()
+	c.tmpl.assocTimer.Cancel()
+	if om, ok := c.med.(interface{ Detach(dot11.MACAddr) }); ok {
+		om.Detach(c.base)
+	}
+	c.eng = eng
+	c.med = med
+	c.tmpl.eng = eng
+	c.tmpl.cfg.BSSID = bssid
+	c.tmpl.associated = false
+	c.tmpl.aid = 0
+	c.tmpl.listening = false
+	c.tmpl.syncedPorts = nil
+	c.tmpl.haveTimestamp = false
+	c.tmpl.setSuspended(true)
+	return nil
+}
+
+// RejoinBlock completes a cohort roam: it records the first AID of
+// the block assigned by the new AP without waking the members' hosts,
+// exactly as Station.Rejoin does for one member. BTIM filtering at
+// the new AP resumes with the members' next port sync (cold handoff)
+// or immediately when the distribution system replicated their
+// entries (warm).
+func (c *CohortStation) RejoinBlock(first dot11.AID) error { return c.tmpl.Rejoin(first) }
+
+// ListensOn reports whether a UDP port is open on the cohort's
+// members (all members share one port set).
+func (c *CohortStation) ListensOn(p uint16) bool { return c.tmpl.ports[p] }
+
+// Synced reports whether the cohort's current AP has acknowledged its
+// open-port set; false after a Handoff marks the cold-roam resync
+// window, exactly as Station.Synced does.
+func (c *CohortStation) Synced() bool { return c.tmpl.syncedPorts != nil }
+
 // Template returns the Station carrying the members' shared protocol
 // state — for observers and pricing; drive the cohort through
 // CohortStation methods, not the template.

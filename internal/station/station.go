@@ -162,6 +162,12 @@ type Stats struct {
 	// APRestartsSeen counts beacon-timestamp regressions — AP restarts
 	// the station detected and re-registered its ports after.
 	APRestartsSeen int
+	// ReassocRequests counts reassociation attempts sent while roaming
+	// between APs of an ESS (retries included).
+	ReassocRequests int
+	// Reassociations counts completed roams (reassociation responses
+	// accepted).
+	Reassociations int
 }
 
 // Observer receives station lifecycle events. Observers run
@@ -410,6 +416,123 @@ func (s *Station) Leave(reason uint16) {
 	s.setSuspended(true)
 }
 
+// Migrate moves the station to another engine and medium shard at a
+// barrier instant (both engines idle at the same virtual time) and
+// retargets its BSSID — the mechanics of an ESS roam. Call it after
+// Leave, when no timers are pending and the station is detached from
+// its BSS; Reassociate then performs the frame-level exchange on the
+// new shard. The sync bookkeeping is reset: the new AP has not
+// acknowledged this station's ports, and the new AP's TSF is
+// unrelated to the old one's, so the restart detector must not read
+// the first foreign beacon as a timestamp regression.
+func (s *Station) Migrate(eng *sim.Engine, med medium.Channel, bssid dot11.MACAddr) {
+	s.assocTimer.Cancel()
+	if om, ok := s.med.(interface{ Detach(dot11.MACAddr) }); ok {
+		om.Detach(s.cfg.Addr)
+	}
+	s.eng = eng
+	s.med = med
+	s.cfg.BSSID = bssid
+	s.syncedPorts = nil
+	s.haveTimestamp = false
+	med.Attach(s.cfg.Addr, s)
+}
+
+// Reassociate performs the frame-level reassociation exchange toward
+// the current BSSID (retargeted by Migrate), naming the AP the
+// station roamed away from. The handoff is firmware-level: the host
+// stays suspended throughout, so no pre-suspend port sync fires — on
+// a cold handoff the new AP's Client UDP Port Table stays empty for
+// this client until the next UDP Port Message (the resync window),
+// unless the distribution system replicated the entry (warm).
+func (s *Station) Reassociate(ssid string, currentAP dot11.MACAddr) {
+	if s.associated || s.crashed {
+		return
+	}
+	if len(ssid) > 32 {
+		// 802.11 SSID limit; clamping keeps marshalling infallible.
+		ssid = ssid[:32]
+	}
+	s.assocRetries = 0
+	s.sendReassocRequest(ssid, currentAP)
+}
+
+// sendReassocRequest transmits one reassociation attempt and arms the
+// retry timer. The request deliberately carries no Open UDP Ports
+// element: a firmware roam does not resend application state, which
+// is exactly what makes the cold-handoff resync window real.
+func (s *Station) sendReassocRequest(ssid string, currentAP dot11.MACAddr) {
+	req := &dot11.ReassocRequest{
+		Header: dot11.MACHeader{
+			Addr1: s.cfg.BSSID, Addr2: s.cfg.Addr, Addr3: s.cfg.BSSID,
+			FC: dot11.FrameControl{Retry: s.assocRetries > 0},
+		},
+		CurrentAP: currentAP,
+		SSID:      ssid,
+	}
+	if s.cfg.Mode == HIDE {
+		req.HIDECapable = true
+	}
+	raw, err := req.Marshal()
+	if err != nil {
+		panic(fmt.Sprintf("station: reassoc request marshal: %v", err))
+	}
+	s.med.Transmit(s.cfg.Addr, raw, s.cfg.CtrlRate)
+	s.stats.ReassocRequests++
+	s.assocTimer.Cancel()
+	s.assocTimer = s.eng.MustScheduleAfter(s.cfg.AckTimeout, func(time.Duration) {
+		if s.associated {
+			return
+		}
+		s.assocRetries++
+		if s.assocRetries > s.cfg.MaxRetries {
+			return // give up; the station stays unassociated
+		}
+		s.sendReassocRequest(ssid, currentAP)
+	})
+}
+
+// handleReassocResponse completes a roam without waking the host.
+func (s *Station) handleReassocResponse(raw []byte) {
+	resp, err := dot11.UnmarshalReassocResponse(raw)
+	if err != nil || s.associated {
+		return
+	}
+	if resp.Status != dot11.StatusSuccess || !resp.AID.Valid() {
+		return
+	}
+	s.assocTimer.Cancel()
+	// Rejoin cannot fail here: the AID was just validated.
+	if err := s.Rejoin(resp.AID); err != nil {
+		panic(fmt.Sprintf("station: rejoin after reassoc: %v", err))
+	}
+	s.stats.Reassociations++
+}
+
+// Rejoin records the AID assigned on reassociation without waking the
+// host — the firmware-level counterpart of Join. The station stays
+// suspended; its next port sync (pre-suspend message after a wake, or
+// the PortRefresh piggyback on a heard DTIM beacon) is what closes a
+// cold handoff's resync window.
+func (s *Station) Rejoin(aid dot11.AID) error {
+	if !aid.Valid() {
+		return fmt.Errorf("station: invalid AID %d", aid)
+	}
+	s.aid = aid
+	s.associated = true
+	s.setSuspended(true)
+	return nil
+}
+
+// Synced reports whether the station's current AP has acknowledged a
+// copy of its open-port set. Migrate resets it: the roam-target AP
+// has acknowledged nothing, so a false value after a roam marks the
+// cold-handoff resync window.
+func (s *Station) Synced() bool { return s.syncedPorts != nil }
+
+// ListensOn reports whether a UDP port is open on the station.
+func (s *Station) ListensOn(p uint16) bool { return s.ports[p] }
+
 // handleAssocResponse completes the association exchange.
 func (s *Station) handleAssocResponse(raw []byte) {
 	resp, err := dot11.UnmarshalAssocResponse(raw)
@@ -509,6 +632,8 @@ func (s *Station) Receive(raw []byte, rate dot11.Rate, now time.Duration) {
 	switch dot11.Classify(raw) {
 	case dot11.KindAssocResponse:
 		s.handleAssocResponse(raw)
+	case dot11.KindReassocResponse:
+		s.handleReassocResponse(raw)
 	case dot11.KindBeacon:
 		if s.associated {
 			s.handleBeacon(raw, now)
