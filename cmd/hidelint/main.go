@@ -1,8 +1,10 @@
 // Command hidelint runs the repo's static-analysis suite: the
-// determinism, ctxfirst, exitpath, elemconst, and errdrop checks that
-// keep the engine's byte-identity guarantee, the context-first API
-// convention, the exit-130 interrupt contract, the protocol-constant
-// hygiene, and error handling honest across the tree.
+// syntactic checks (determinism, ctxfirst, exitpath, elemconst,
+// errdrop) plus the flow-aware checks (framemut, rngdraw, gojoin,
+// poolbalance) that machine-check the engine's byte-identity
+// guarantee, the immutable shared-frame contract, the seeded-stream
+// draw discipline, the barrier-window join rule, and pool/free-list
+// balance across the tree.
 //
 // Diagnostics print vet-style (file:line:col: message (check)) and a
 // non-zero exit reports findings, so it slots into CI after go vet.
@@ -12,13 +14,16 @@
 //
 // Usage:
 //
-//	hidelint [-checks determinism,errdrop] [-root dir] [pattern ...]
+//	hidelint [-checks determinism,errdrop] [-root dir] [-json] [-format text|github] [pattern ...]
 //
-// Patterns follow go tool conventions: ./... (default), ./dir/..., or
-// ./dir.
+// -json emits one JSON object per finding on its own line; -format
+// github emits ::error workflow-command annotations that GitHub
+// renders inline on pull requests. Patterns follow go tool
+// conventions: ./... (default), ./dir/..., or ./dir.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,13 +36,18 @@ import (
 func main() {
 	checks := flag.String("checks", "", "comma-separated checks to run (default all)")
 	root := flag.String("root", ".", "module root directory (holding go.mod)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per finding")
+	format := flag.String("format", "text", "output format: text or github")
 	flag.Parse()
 
+	if *jsonOut {
+		*format = "json"
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := run(os.Stdout, *root, *checks, patterns)
+	n, err := run(os.Stdout, *root, *checks, *format, patterns)
 	if err != nil {
 		cli.Usagef("hidelint", "%v", err)
 	}
@@ -46,10 +56,25 @@ func main() {
 	}
 }
 
+// jsonFinding is the -json wire shape: one object per finding, stable
+// field names so CI scripts can jq without guessing.
+type jsonFinding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
 // run loads the patterns under root, applies the selected analyzers,
-// prints diagnostics to w, and returns the finding count. It is the
-// whole CLI minus process exit, so tests can drive it directly.
-func run(w io.Writer, root, checks string, patterns []string) (int, error) {
+// prints diagnostics to w in the chosen format, and returns the
+// finding count. It is the whole CLI minus process exit, so tests can
+// drive it directly.
+func run(w io.Writer, root, checks, format string, patterns []string) (int, error) {
+	emit, err := emitter(w, format)
+	if err != nil {
+		return 0, err
+	}
 	analyzers, err := lint.ByName(checks)
 	if err != nil {
 		return 0, err
@@ -67,7 +92,43 @@ func run(w io.Writer, root, checks string, patterns []string) (int, error) {
 		return 0, err
 	}
 	for _, d := range diags {
-		fmt.Fprintln(w, d)
+		if err := emit(d); err != nil {
+			return 0, err
+		}
 	}
 	return len(diags), nil
+}
+
+// emitter returns the per-diagnostic printer for a format, rejecting
+// unknown names before any loading work happens.
+func emitter(w io.Writer, format string) (func(lint.Diagnostic) error, error) {
+	switch format {
+	case "text":
+		return func(d lint.Diagnostic) error {
+			_, err := fmt.Fprintln(w, d)
+			return err
+		}, nil
+	case "json":
+		enc := json.NewEncoder(w)
+		return func(d lint.Diagnostic) error {
+			return enc.Encode(jsonFinding{
+				Check:   d.Check,
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Message: d.Message,
+			})
+		}, nil
+	case "github":
+		// GitHub workflow commands render these as inline PR
+		// annotations; %0A etc. escaping is unnecessary because
+		// diagnostics are single-line by construction.
+		return func(d lint.Diagnostic) error {
+			_, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=hidelint/%s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+			return err
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown -format %q (want text, json, or github)", format)
+	}
 }

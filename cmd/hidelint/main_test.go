@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 // here as well as in the CI lint step.
 func TestTreeClean(t *testing.T) {
 	var buf bytes.Buffer
-	n, err := run(&buf, "../..", "", []string{"./..."})
+	n, err := run(&buf, "../..", "", "text", []string{"./..."})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -26,7 +27,7 @@ func TestTreeClean(t *testing.T) {
 // which main exits non-zero.
 func TestFixtureFindings(t *testing.T) {
 	var buf bytes.Buffer
-	n, err := run(&buf, "../..", "errdrop", []string{"./internal/lint/testdata/src/errdrop"})
+	n, err := run(&buf, "../..", "errdrop", "text", []string{"./internal/lint/testdata/src/errdrop"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -38,9 +39,57 @@ func TestFixtureFindings(t *testing.T) {
 	}
 }
 
+// TestJSONFormat decodes every emitted line back into the wire shape:
+// one object per finding with check, position, and message populated.
+func TestJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run(&buf, "../..", "errdrop", "json", []string{"./internal/lint/testdata/src/errdrop"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != n {
+		t.Fatalf("got %d JSON lines for %d findings:\n%s", len(lines), n, buf.String())
+	}
+	for _, line := range lines {
+		var f jsonFinding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if f.Check != "errdrop" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+// TestGitHubFormat checks the workflow-command shape GitHub parses
+// into inline PR annotations.
+func TestGitHubFormat(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := run(&buf, "../..", "errdrop", "github", []string{"./internal/lint/testdata/src/errdrop"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("bad fixture produced no findings")
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !strings.HasPrefix(line, "::error file=") || !strings.Contains(line, "title=hidelint/errdrop::") {
+			t.Errorf("malformed annotation: %q", line)
+		}
+	}
+}
+
+// TestUnknownFormat exercises the format-validation path.
+func TestUnknownFormat(t *testing.T) {
+	if _, err := run(io.Discard, "../..", "", "yaml", []string{"./..."}); err == nil {
+		t.Fatal("unknown format accepted, want error")
+	}
+}
+
 // TestUnknownCheck exercises the usage-error path.
 func TestUnknownCheck(t *testing.T) {
-	if _, err := run(io.Discard, "../..", "nope", []string{"./..."}); err == nil {
+	if _, err := run(io.Discard, "../..", "nope", "text", []string{"./..."}); err == nil {
 		t.Fatal("unknown check accepted, want error")
 	}
 }

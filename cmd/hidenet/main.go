@@ -122,6 +122,7 @@ func main() {
 			cli.Exit("hidenet", err)
 		}
 		mon := net.ServeMonitor(pc)
+		//lint:ignore errdrop monitor teardown at process exit; the UDP service holds no buffered writes and the replay result is already reported
 		defer mon.Close()
 		fmt.Printf("monitor service on %v (connect with hidetap); pacing at %gx\n",
 			mon.Server.Addr(), *speed)

@@ -30,6 +30,7 @@ func main() {
 	if err != nil {
 		cli.Exit("hidetap", err)
 	}
+	//lint:ignore errdrop teardown of a read-side UDP socket at process exit; nothing is buffered and the process has no one left to tell
 	defer tap.Close()
 
 	if *inject > 0 && *inject <= 0xffff {

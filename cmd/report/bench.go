@@ -13,6 +13,7 @@ import (
 	chk "repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/dot11"
+	"repro/internal/lint"
 	"repro/internal/medium"
 	"repro/internal/sim"
 )
@@ -58,6 +59,7 @@ func runBench(out, baseline string) {
 		{"MediumFanout/16", benchMediumFanout},
 		{"Stations/1M", benchStationsMillion},
 		{"ESS/K=8/roam", benchESSRoam},
+		{"Lint/tree", benchLintTree},
 	}
 
 	file := BenchFile{
@@ -131,11 +133,11 @@ func delta(base, cur float64) float64 {
 	return (cur - base) / base * 100
 }
 
-// benchTrajectory renders the committed BENCH_7.json record as a
+// benchTrajectory renders the committed BENCH_8.json record as a
 // markdown section of the report. Silently skipped when the file is
 // absent (the report is normally regenerated from the repo root).
 func benchTrajectory() {
-	raw, err := os.ReadFile("BENCH_7.json")
+	raw, err := os.ReadFile("BENCH_8.json")
 	if err != nil {
 		return
 	}
@@ -144,7 +146,7 @@ func benchTrajectory() {
 		return
 	}
 	fmt.Println()
-	fmt.Println("### Hot-path benchmark trajectory (committed BENCH_7.json)")
+	fmt.Println("### Hot-path benchmark trajectory (committed BENCH_8.json)")
 	fmt.Println()
 	fmt.Printf("Recorded with `go run ./cmd/report -bench` on %s/%s, GOMAXPROCS %d, %s:\n",
 		f.GOOS, f.GOARCH, f.GOMAXPROCS, f.GoVersion)
@@ -171,12 +173,16 @@ func benchTrajectory() {
 	fmt.Println("sharded multi-AP headline: an 8-AP extended service set with 64")
 	fmt.Println("roaming HIDE stations and replicated port-table handoffs, one")
 	fmt.Println("goroutine per shard with barrier-merged cross-AP effects —")
-	fmt.Println("byte-identical for any worker count (DESIGN.md §10). CI's bench-smoke")
-	fmt.Println("job re-runs this mode against the committed record as an")
-	fmt.Println("informational comparison (and against the prior BENCH_6.json point).")
+	fmt.Println("byte-identical for any worker count (DESIGN.md §10). Lint/tree is the")
+	fmt.Println("cost of the static-analysis gate itself: a whole-module hidelint run")
+	fmt.Println("(walk, parse, type-check, and all nine analyzers including the")
+	fmt.Println("flow-aware CFG passes — DESIGN.md §11), so analyzer growth shows up in")
+	fmt.Println("the same table as the simulation hot paths. CI's bench-smoke job")
+	fmt.Println("re-runs this mode against the committed record as an informational")
+	fmt.Println("comparison (and against the prior BENCH_7.json point).")
 	fmt.Println()
 	fmt.Println("Regenerate: `go run ./cmd/report -bench`; compare:")
-	fmt.Println("`go run ./cmd/report -bench -benchout /tmp/b.json -baseline BENCH_7.json`.")
+	fmt.Println("`go run ./cmd/report -bench -benchout /tmp/b.json -baseline BENCH_8.json`.")
 }
 
 // benchRunSuite measures the full figure-suite evaluation for one
@@ -331,6 +337,34 @@ func benchESSRoam(b *testing.B) {
 		}
 		if e.Stats().Roams == 0 {
 			b.Fatal("bench ESS run had no roams")
+		}
+	}
+}
+
+// benchLintTree measures a whole-tree hidelint run — module walk,
+// parse, type-check, and every analyzer including the flow-aware CFG
+// passes — so the cost of the static-analysis gate is tracked like
+// any other hot path. A fresh loader per iteration keeps the package
+// cache from hiding the dominant type-checking cost. Run from the
+// repo root, like the rest of report mode.
+func benchLintTree(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loader, err := lint.NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.Load("./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags, err := lint.RunAnalyzers(pkgs, lint.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("tree not lint-clean during bench: %v", diags)
 		}
 	}
 }

@@ -470,6 +470,7 @@ func (e *ESS) RunContext(ctx context.Context, tr *trace.Trace) error {
 func (e *ESS) mergeDS() {
 	for _, sh := range e.shards {
 		for _, r := range sh.dsQueue {
+			//lint:ignore rngdraw DSLoss is fixed per-run config, so the short-circuit guard is constant for the whole run and the draw count per record cannot vary
 			if e.cfg.DSLoss > 0 && e.dsRng.Float64() < e.cfg.DSLoss {
 				e.stats.DSRecordsDropped++
 				continue

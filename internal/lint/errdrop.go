@@ -21,17 +21,88 @@ var ErrDrop = &Analyzer{
 
 func runErrDrop(p *Pass) error {
 	for _, f := range p.Files {
+		readOnly := readOnlyFiles(p, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
 				checkBlankErrorAssign(p, n)
 			case *ast.ExprStmt:
 				checkBareErrorCall(p, n)
+			case *ast.DeferStmt:
+				checkDeferredErrorCall(p, n, readOnly)
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// checkDeferredErrorCall flags `defer f()` where f returns an error
+// nobody will see. Deferred Close on a write path is the classic
+// short-write hole: the buffer flushes at Close, and the discarded
+// error is the only evidence the file is truncated. Close on a file
+// that was only ever opened read-only is exempt — there is nothing
+// buffered to lose.
+func checkDeferredErrorCall(p *Pass, n *ast.DeferStmt, readOnly map[types.Object]bool) {
+	t := p.TypesInfo.TypeOf(n.Call)
+	if t == nil || !resultHasError(t) {
+		return
+	}
+	if errDropExempt(p, n.Call) {
+		return
+	}
+	if sel, ok := n.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && readOnly[p.TypesInfo.ObjectOf(id)] {
+			return
+		}
+	}
+	p.Reportf(n.Call.Pos(), "deferred call discards its error result; capture it in a named return or add //lint:ignore errdrop <reason>")
+}
+
+// readOnlyFiles collects objects whose every definition in the file
+// is an os.Open call — read-only handles whose Close has nothing
+// buffered to report. An object also assigned from anything else
+// (os.Create, os.OpenFile, ...) is conservatively not read-only.
+func readOnlyFiles(p *Pass, f *ast.File) map[types.Object]bool {
+	opened := map[types.Object]bool{}
+	tainted := map[types.Object]bool{}
+	record := func(lhs ast.Expr, fromOpen bool) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := p.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if fromOpen {
+			opened[obj] = true
+		} else {
+			tainted[obj] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		asgn, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		fromOpen := false
+		if len(asgn.Rhs) == 1 {
+			if call, ok := ast.Unparen(asgn.Rhs[0]).(*ast.CallExpr); ok {
+				fn := funcObj(p.TypesInfo, call)
+				fromOpen = fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Open"
+			}
+		}
+		record(asgn.Lhs[0], fromOpen)
+		for _, lhs := range asgn.Lhs[1:] {
+			record(lhs, false)
+		}
+		return true
+	})
+	for obj := range tainted {
+		delete(opened, obj)
+	}
+	return opened
 }
 
 // checkBlankErrorAssign flags `_ = f()` and `x, _ := g()` where the

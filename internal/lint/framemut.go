@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FrameMut protects the copy-free fan-out: since the hot-path overhaul
+// the medium makes exactly ONE copy of each transmitted frame and every
+// receiver shares that buffer immutably — corruption under a fault plan
+// clones first (append([]byte(nil), raw...)), and nothing else may
+// write. A single stray raw[i] = x in one station's receive path would
+// silently garble the frame every LATER receiver in the fan-out sees,
+// breaking byte-identity in a way pointwise tests rarely catch. This
+// analyzer runs a may-alias dataflow over each function that handles a
+// delivered frame and flags writes through any slice that may still
+// alias it.
+var FrameMut = &Analyzer{
+	Name: "framemut",
+	Doc: "delivered frame buffers are shared and immutable: in medium.Node " +
+		"Receive/ReceiveAs implementations and throughout internal/medium, no write " +
+		"(element store, copy dst) may go through a byte slice that may alias the " +
+		"frame parameter; clone first with append([]byte(nil), b...)",
+	Run: runFrameMut,
+}
+
+func runFrameMut(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			params := frameParams(p, fn)
+			if len(params) == 0 {
+				continue
+			}
+			checkFrameWrites(p, fn, params)
+		}
+	}
+	return nil
+}
+
+// frameParams returns the parameters of fn that hold a delivered (or
+// injected) frame buffer: the []byte parameter of a Receive/ReceiveAs
+// method matching the medium.Node shape anywhere in the tree, and —
+// inside internal/medium itself, where every byte slice in flight is
+// the shared injection copy — any []byte parameter of any function.
+func frameParams(p *Pass, fn *ast.FuncDecl) []types.Object {
+	inMedium := p.RelPath() == "internal/medium"
+	isReceive := fn.Recv != nil && (fn.Name.Name == "Receive" || fn.Name.Name == "ReceiveAs")
+	if !inMedium && !isReceive {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range fn.Type.Params.List {
+		if !isByteSlice(p.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.TypesInfo.Defs[name]; obj != nil && name.Name != "_" {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// isByteSlice reports whether t is []byte (or a named slice-of-byte).
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// checkFrameWrites runs the may-alias flow from the frame parameters
+// and reports element stores and copy-destinations through aliases.
+func checkFrameWrites(p *Pass, fn *ast.FuncDecl, params []types.Object) {
+	g := buildCFG(fn.Body, p.TypesInfo)
+	fa := &flowAnalysis{info: p.TypesInfo, carries: aliasCarrier(p.TypesInfo)}
+	seed := factSet{}
+	for _, obj := range params {
+		seed[obj] = true
+	}
+	in := fa.solve(g, seed)
+	for _, b := range g.blocks {
+		facts := in[b.index].clone()
+		for _, s := range b.stmts {
+			checkFrameStmt(p, fa, s, facts)
+			fa.stepStmt(s, facts)
+		}
+	}
+}
+
+// checkFrameStmt reports frame-mutating writes in one statement, given
+// the alias facts in force just before it.
+func checkFrameStmt(p *Pass, fa *flowAnalysis, s ast.Stmt, facts factSet) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			if base, ok := indexedBase(l); ok && fa.carries(base, facts) {
+				p.Reportf(l.Pos(), "write into a byte slice that may alias the delivered frame; shared frame buffers are immutable — clone first (append([]byte(nil), b...))")
+			}
+		}
+		for _, r := range s.Rhs {
+			checkFrameCopy(p, fa, r, facts)
+		}
+	case *ast.IncDecStmt:
+		if base, ok := indexedBase(s.X); ok && fa.carries(base, facts) {
+			p.Reportf(s.X.Pos(), "write into a byte slice that may alias the delivered frame; shared frame buffers are immutable — clone first (append([]byte(nil), b...))")
+		}
+	default:
+		for _, n := range evaluatedNodes(s) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkFrameCopyCall(p, fa, call, facts)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkFrameCopy scans an expression for copy calls targeting an
+// aliasing slice.
+func checkFrameCopy(p *Pass, fa *flowAnalysis, e ast.Expr, facts factSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkFrameCopyCall(p, fa, call, facts)
+		}
+		return true
+	})
+}
+
+// checkFrameCopyCall flags copy(dst, ...) where dst may alias a frame.
+func checkFrameCopyCall(p *Pass, fa *flowAnalysis, call *ast.CallExpr, facts factSet) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "copy" || !isBuiltin(p.TypesInfo, id) || len(call.Args) != 2 {
+		return
+	}
+	if fa.carries(call.Args[0], facts) {
+		p.Reportf(call.Pos(), "copy into a byte slice that may alias the delivered frame; shared frame buffers are immutable — clone first (append([]byte(nil), b...))")
+	}
+}
+
+// indexedBase unwraps x[i] (through parens and sub-slices) to the
+// slice being stored into, reporting ok when l is an element store.
+func indexedBase(l ast.Expr) (ast.Expr, bool) {
+	ix, ok := ast.Unparen(l).(*ast.IndexExpr)
+	if !ok {
+		return nil, false
+	}
+	return ix.X, true
+}

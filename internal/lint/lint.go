@@ -50,6 +50,10 @@ func All() []*Analyzer {
 		ExitPath,
 		ElemConst,
 		ErrDrop,
+		FrameMut,
+		RNGDraw,
+		GoJoin,
+		PoolBalance,
 	}
 }
 

@@ -191,6 +191,98 @@ func TestIgnoreNeedsReason(t *testing.T) {
 	}
 }
 
+func TestFrameMutFixture(t *testing.T) {
+	checkFixture(t, FrameMut, "framemut", "repro/internal/medium")
+}
+
+func TestRNGDrawFixture(t *testing.T) {
+	checkFixture(t, RNGDraw, "rngdraw", "repro/internal/fault")
+}
+
+// TestRNGDrawOutOfScope re-analyzes the draw fixture outside the
+// seeded-stream packages, where nothing may be reported.
+func TestRNGDrawOutOfScope(t *testing.T) {
+	diags := loadFixture(t, RNGDraw, "rngdraw", "repro/internal/trace")
+	if len(diags) != 0 {
+		t.Errorf("out-of-scope package reported: %v", diags)
+	}
+}
+
+func TestGoJoinFixture(t *testing.T) {
+	checkFixture(t, GoJoin, "gojoin", "repro/internal/engine")
+}
+
+// TestGoJoinOutOfScope re-analyzes the goroutine fixture outside the
+// barrier-window packages, where nothing may be reported.
+func TestGoJoinOutOfScope(t *testing.T) {
+	diags := loadFixture(t, GoJoin, "gojoin", "repro/internal/trace")
+	if len(diags) != 0 {
+		t.Errorf("out-of-scope package reported: %v", diags)
+	}
+}
+
+func TestPoolBalanceFixture(t *testing.T) {
+	checkFixture(t, PoolBalance, "poolbalance", "repro/internal/sim")
+}
+
+// TestPoolBalanceFreeListScoped re-analyzes the pool fixture outside
+// the free-list packages: sync.Pool findings survive (that rule is
+// global) but the alloc/release convention no longer applies.
+func TestPoolBalanceFreeListScoped(t *testing.T) {
+	diags := loadFixture(t, PoolBalance, "poolbalance", "repro/internal/trace")
+	if len(diags) != 1 || diags[0].Pos.Line != 18 {
+		t.Errorf("out-of-scope run got %v, want only the sync.Pool leak at line 18", diags)
+	}
+}
+
+// checkCanary asserts the acceptance contract for the deliberately
+// broken fixtures: exactly one diagnostic, on the line marked CANARY.
+func checkCanary(t *testing.T, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := fixtureLoader(t).LoadDirAs(filepath.Join("testdata", "src", dir), asPath)
+	if err != nil {
+		t.Fatalf("loading canary %s: %v", dir, err)
+	}
+	wantLine := 0
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "CANARY:") {
+					wantLine = pkg.Fset.Position(c.Pos()).Line
+				}
+			}
+		}
+	}
+	if wantLine == 0 {
+		t.Fatalf("canary %s has no CANARY marker", dir)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("canary %s: got %d diagnostics, want exactly 1: %v", dir, len(diags), diags)
+	}
+	if diags[0].Pos.Line != wantLine {
+		t.Errorf("canary %s: diagnostic at line %d, want the CANARY line %d", dir, diags[0].Pos.Line, wantLine)
+	}
+}
+
+// The canaries prove each flow-aware analyzer has teeth on realistic
+// breakage: a mutated delivered frame, an unbalanced RNG branch, and
+// a leaked shard goroutine each yield one precisely placed finding.
+func TestCanaryFrameMutation(t *testing.T) {
+	checkCanary(t, FrameMut, "canary_frame", "repro/internal/station")
+}
+
+func TestCanaryRNGUnbalance(t *testing.T) {
+	checkCanary(t, RNGDraw, "canary_rng", "repro/internal/ess")
+}
+
+func TestCanaryShardGoroutineLeak(t *testing.T) {
+	checkCanary(t, GoJoin, "canary_gojoin", "repro/internal/ess")
+}
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
 	if err != nil || len(all) != len(All()) {

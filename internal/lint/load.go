@@ -216,6 +216,15 @@ func (l *Loader) check(path, dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		// Respect build constraints (//go:build lines and GOOS/GOARCH
+		// filename suffixes) the way the go tool does; an excluded file
+		// would otherwise poison the type-check with declarations the
+		// build never sees.
+		if match, err := build.Default.MatchFile(dir, name); err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		} else if !match {
+			continue
+		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)

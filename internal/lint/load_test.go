@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under t.TempDir: files maps
+// module-relative paths to contents, and a go.mod naming the module
+// is added automatically.
+func writeModule(t *testing.T, module string, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module " + module + "\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadImportCycle pins the loader's cycle detection: two packages
+// importing each other must fail with a named cycle, not recurse
+// until the stack gives out.
+func TestLoadImportCycle(t *testing.T) {
+	root := writeModule(t, "cyc", map[string]string{
+		"a/a.go": "package a\n\nimport \"cyc/b\"\n\nconst A = b.B\n",
+		"b/b.go": "package b\n\nimport \"cyc/a\"\n\nconst B = a.A\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err = loader.Load("./a")
+	if err == nil || !strings.Contains(err.Error(), "import cycle through") {
+		t.Fatalf("Load on a cyclic module = %v, want an import-cycle error", err)
+	}
+}
+
+// TestLoadBuildTagExcluded pins constraint filtering: files excluded
+// by //go:build lines or GOOS suffixes carry declarations that would
+// break the type-check if the loader parsed them anyway.
+func TestLoadBuildTagExcluded(t *testing.T) {
+	root := writeModule(t, "tagged", map[string]string{
+		"p/good.go": "package p\n\nconst A = 1\n",
+		// Both excluded files redeclare A, so including either one is a
+		// type error — the load only succeeds if filtering works.
+		"p/ignored.go":   "//go:build ignore\n\npackage p\n\nconst A = 2\n",
+		"p/p_plan9.go":   "package p\n\nconst A = 3\n",
+		"p/otherpkg.go":  "//go:build someexoticarch\n\npackage q\n",
+		"p/notgo.go.txt": "not go at all",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./p")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("got %d packages / %d files, want exactly the unconstrained file", len(pkgs), len(pkgs[0].Files))
+	}
+	name := pkgs[0].Fset.Position(pkgs[0].Files[0].Pos()).Filename
+	if filepath.Base(name) != "good.go" {
+		t.Errorf("loaded %s, want good.go", name)
+	}
+}
+
+// TestLoadModuleRoot pins loading a package that lives at the module
+// root: its import path is the bare module path, and both the "."
+// pattern and the "./..." walk must find it.
+func TestLoadModuleRoot(t *testing.T) {
+	root := writeModule(t, "example.com/rootpkg", map[string]string{
+		"root.go":    "package rootpkg\n\nimport \"example.com/rootpkg/sub\"\n\nconst R = sub.S\n",
+		"sub/sub.go": "package sub\n\nconst S = 7\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load(".")
+	if err != nil {
+		t.Fatalf("Load(.): %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/rootpkg" {
+		t.Fatalf("Load(.) = %v, want the bare module path", pkgs)
+	}
+	all, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load(./...): %v", err)
+	}
+	var paths []string
+	for _, p := range all {
+		paths = append(paths, p.Path)
+	}
+	if got := strings.Join(paths, ","); got != "example.com/rootpkg,example.com/rootpkg/sub" {
+		t.Errorf("Load(./...) = %s, want root and sub packages", got)
+	}
+}
+
+// TestNewLoaderNoModule pins the error when root has no go.mod.
+func TestNewLoaderNoModule(t *testing.T) {
+	if _, err := NewLoader(t.TempDir()); err == nil {
+		t.Fatal("NewLoader on a bare directory succeeded, want error")
+	}
+}

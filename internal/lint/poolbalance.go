@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolBalance protects the alloc budgets of the pooled hot paths: the
+// suite-scratch sync.Pool, the sim engine's generation-stamped item
+// free list, and the medium's pendingTx recycling only stay 0-alloc if
+// every acquisition is balanced — either released back or handed off
+// to the structure that will release it later. An early return that
+// drops an acquired item on the floor is invisible to tests (the code
+// still works, the pool just quietly refills from the heap) until an
+// AllocsPerRun budget starts flaking. The analyzer follows every path
+// from an acquisition to the function's normal exits and requires the
+// value to be released (Put/release, directly or deferred) or to
+// escape into a call, field, container, return, or channel send.
+var PoolBalance = &Analyzer{
+	Name: "poolbalance",
+	Doc: "a value acquired from a sync.Pool (Get) or from a free list " +
+		"(unexported alloc* methods in internal/sim and internal/medium) must, on " +
+		"every normal exit path, be released (Put/release, possibly deferred) or " +
+		"handed off (call argument, field/container store, return, channel send); " +
+		"dropping one on an early return silently re-heapifies the hot path",
+	Run: runPoolBalance,
+}
+
+// poolFreeListScope lists the packages whose unexported alloc* methods
+// are free-list acquisitions by convention.
+var poolFreeListScope = map[string]bool{
+	"internal/sim":    true,
+	"internal/medium": true,
+}
+
+func runPoolBalance(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolBalance(p, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkPoolBalance(p, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// acquisition is one tracked pool/free-list acquisition site.
+type acquisition struct {
+	stmt ast.Stmt     // the acquiring assignment
+	obj  types.Object // the local the value is bound to
+	call *ast.CallExpr
+}
+
+// checkPoolBalance finds acquisitions bound to a single local and
+// verifies release-or-escape on all normal exit paths.
+func checkPoolBalance(p *Pass, body *ast.BlockStmt) {
+	var acqs []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call := acquisitionCall(p, as.Rhs[0])
+		if call == nil {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			// Acquired into a field or discarded: handed off by definition
+			// (or a bug no local analysis can track) — out of scope.
+			return true
+		}
+		obj := p.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = p.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			acqs = append(acqs, acquisition{stmt: as, obj: obj, call: call})
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+	g := buildCFG(body, p.TypesInfo)
+	for _, a := range acqs {
+		if deferHandles(p, g, a.obj) {
+			continue
+		}
+		blk, idx := g.findStmt(a.stmt)
+		if blk == nil {
+			continue
+		}
+		balanced := g.allPathsHit(blk, idx+1, func(s ast.Stmt) bool {
+			return stmtReleasesOrEscapes(p, s, a.obj)
+		})
+		if !balanced {
+			p.Reportf(a.call.Pos(), "acquired from the pool but neither released (Put/release) nor handed off on some path to return; an unbalanced acquisition re-heapifies the hot path — release on every exit (defer works) or hand the value off")
+		}
+	}
+}
+
+// acquisitionCall unwraps rhs (through parens and type assertions) to
+// a tracked acquisition call: (*sync.Pool).Get, or an unexported
+// niladic alloc* method in the free-list packages.
+func acquisitionCall(p *Pass, rhs ast.Expr) *ast.CallExpr {
+	e := ast.Unparen(rhs)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if sel.Sel.Name == "Get" && isSyncPool(p.TypesInfo.TypeOf(sel.X)) {
+		return call
+	}
+	if poolFreeListScope[p.RelPath()] && strings.HasPrefix(sel.Sel.Name, "alloc") && len(call.Args) == 0 {
+		if fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func); ok && !fn.Exported() {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return call
+			}
+		}
+	}
+	return nil
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// deferHandles reports whether any defer in the body releases or
+// hands off obj — defers run on every exit, so one covers all paths.
+func deferHandles(p *Pass, g *funcCFG, obj types.Object) bool {
+	for _, d := range g.defers {
+		if callUsesObj(p.TypesInfo, d.Call, obj) {
+			return true
+		}
+		// defer func() { pool.Put(v) }() — the closure body references v.
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok && exprUsesObj(p.TypesInfo, lit.Body, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtReleasesOrEscapes reports whether the statement ends this
+// function's custody of obj: passes it to any call (Put, release, a
+// scheduler — the callee or the structure now owns it), stores it into
+// a field, container, or non-local variable, returns it, or sends it
+// on a channel. A plain local-to-local copy does NOT count (custody
+// stays here under another name; conservative for the common patterns).
+func stmtReleasesOrEscapes(p *Pass, s ast.Stmt, obj types.Object) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if exprUsesObj(p.TypesInfo, r, obj) {
+				return true
+			}
+		}
+		return false
+	case *ast.SendStmt:
+		return exprUsesObj(p.TypesInfo, s.Value, obj)
+	case *ast.AssignStmt:
+		for i, l := range s.Lhs {
+			// Storing obj (or a composite mentioning it) anywhere but a
+			// plain local: field, index, dereference, package var.
+			if i < len(s.Rhs) && exprUsesObj(p.TypesInfo, s.Rhs[i], obj) && !isLocalIdent(p.TypesInfo, l) {
+				return true
+			}
+		}
+		// Calls on the RHS may consume obj: append(free, it), Put-like.
+		for _, r := range s.Rhs {
+			if callInExprUsesObj(p.TypesInfo, r, obj) {
+				return true
+			}
+		}
+		return false
+	default:
+		for _, n := range evaluatedNodes(s) {
+			if callInExprUsesObj(p.TypesInfo, n, obj) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// callInExprUsesObj reports whether any call under e takes obj (or an
+// expression mentioning it) as an argument.
+func callInExprUsesObj(info *types.Info, e ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && callUsesObj(info, call, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callUsesObj reports whether obj appears in the call's arguments.
+func callUsesObj(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	for _, a := range call.Args {
+		if exprUsesObj(info, a, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprUsesObj reports whether obj is referenced anywhere under n.
+func exprUsesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isLocalIdent reports whether l is a plain local variable (not blank,
+// not a field/index/deref target, not a package-level variable).
+func isLocalIdent(info *types.Info, l ast.Expr) bool {
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true // discarding a mention is not a store anywhere
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	// Package-level variables escape; locals (including params) do not.
+	return v.Pkg() == nil || v.Parent() == nil || v.Parent() != v.Pkg().Scope()
+}

@@ -1,0 +1,16 @@
+// Package fixture is the gojoin canary: a shard window runner that
+// spawns one goroutine per shard and returns without joining them.
+// The canary test asserts exactly ONE diagnostic, at the marked line.
+package fixture
+
+type shard struct{ now int }
+
+func (s *shard) runUntil(t int) { s.now = t }
+
+// RunWindow fans out the shards but forgets the barrier: the spawned
+// goroutines keep mutating shard state after the "window" returns.
+func RunWindow(shards []*shard, until int) {
+	for _, sh := range shards {
+		go sh.runUntil(until) // CANARY: spawned shard goroutine is never joined
+	}
+}

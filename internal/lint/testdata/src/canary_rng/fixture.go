@@ -1,0 +1,17 @@
+// Package fixture is the rngdraw canary: a roam-style decision that
+// draws an extra value on one branch only. The canary test asserts
+// exactly ONE diagnostic, at the marked line.
+package fixture
+
+import "repro/internal/sim"
+
+// PickTarget tosses a roam coin, then draws the target shard only for
+// roamers — the stream position after the call now depends on the
+// toss in a way the sibling branch never compensates.
+func PickTarget(rng *sim.RNG, shards int) int {
+	tgt := -1
+	if rng.Float64() < 0.5 { // CANARY: then-branch draws 1, else-branch draws 0
+		tgt = int(rng.Float64() * float64(shards))
+	}
+	return tgt
+}

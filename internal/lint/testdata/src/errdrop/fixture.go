@@ -5,6 +5,7 @@ package fixture
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 )
 
@@ -18,6 +19,67 @@ func Dropped() int {
 	work()         // want `call discards its error result`
 	n, _ := pair() // want `error discarded via _`
 	return n
+}
+
+// DeferredDrop is the short-write hole: the file buffers until
+// Close, and the deferred discard is the only place the truncation
+// would have surfaced.
+func DeferredDrop(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred call discards its error result`
+	_, err = f.WriteString("data")
+	return err
+}
+
+// DeferredFunc drops the same error one wrapper deeper.
+func DeferredFunc() {
+	defer work() // want `deferred call discards its error result`
+}
+
+// DeferredReadOnly is exempt: the handle only ever came from
+// os.Open, so Close has nothing buffered to report.
+func DeferredReadOnly(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	return f.Read(buf)
+}
+
+// DeferredReassigned loses the exemption: the handle is later
+// rebound to a writable file, so the deferred Close may flush.
+func DeferredReassigned(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	f, err = os.Create(path + ".out")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred call discards its error result`
+	_, err = f.WriteString("data")
+	return err
+}
+
+// DeferredCaptured is the fix: a named return carries Close's error.
+func DeferredCaptured(path string) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
+	}
+	defer func() {
+		if e := f.Close(); err == nil {
+			err = e
+		}
+	}()
+	_, err = f.WriteString("data")
+	return err
 }
 
 // Handled checks, exempts, and justifies.

@@ -1,0 +1,98 @@
+// Package fixture exercises the poolbalance analyzer. The test
+// harness analyzes it as repro/internal/sim, where the free-list
+// convention applies on top of the everywhere rule for sync.Pool: an
+// acquired value must be released or handed off on every normal exit
+// path, or the pooled hot path silently refills from the heap.
+package fixture
+
+import "sync"
+
+type scratch struct{ buf []byte }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// DroppedOnError releases on the happy path but drops the scratch on
+// the early return — the leak an AllocsPerRun budget only catches
+// later, as flaky growth.
+func DroppedOnError(fail bool) int {
+	sc := pool.Get().(*scratch) // want `acquired from the pool but neither released .* nor handed off`
+	if fail {
+		return -1
+	}
+	n := len(sc.buf)
+	pool.Put(sc)
+	return n
+}
+
+// DeferredPut covers every exit, including the early return.
+func DeferredPut(fail bool) int {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	if fail {
+		return -1
+	}
+	return len(sc.buf)
+}
+
+// PutOnAllPaths balances each exit explicitly.
+func PutOnAllPaths(fail bool) int {
+	sc := pool.Get().(*scratch)
+	if fail {
+		pool.Put(sc)
+		return -1
+	}
+	n := len(sc.buf)
+	pool.Put(sc)
+	return n
+}
+
+// engine imitates the sim free list: alloc is an unexported niladic
+// method, so its result is a tracked acquisition in this package.
+type engine struct {
+	free  []*item
+	queue []*item
+}
+
+type item struct{ at int }
+
+func (e *engine) alloc() *item {
+	if n := len(e.free); n > 0 {
+		it := e.free[n-1]
+		e.free = e.free[:n-1]
+		return it // returning the item hands it to the caller
+	}
+	return &item{}
+}
+
+func (e *engine) release(it *item) { e.free = append(e.free, it) }
+
+// Scheduled hands the item off to the queue — custody transferred, no
+// release needed here.
+func (e *engine) Scheduled(at int) {
+	it := e.alloc()
+	it.at = at
+	e.queue = append(e.queue, it)
+}
+
+// LeakedOnValidation drops the item when validation fails after the
+// acquisition — the free list never sees it again.
+func (e *engine) LeakedOnValidation(at int) bool {
+	it := e.alloc() // want `acquired from the pool but neither released .* nor handed off`
+	if at < 0 {
+		return false
+	}
+	it.at = at
+	e.release(it)
+	return true
+}
+
+// ValidateFirst is the fix: validate before acquiring.
+func (e *engine) ValidateFirst(at int) bool {
+	if at < 0 {
+		return false
+	}
+	it := e.alloc()
+	it.at = at
+	e.release(it)
+	return true
+}

@@ -1,0 +1,89 @@
+// Package fixture exercises the rngdraw analyzer. The test harness
+// analyzes it as repro/internal/fault, where the draw-count discipline
+// applies: branches that rejoin must consume the same number of
+// seeded-RNG draws, draws must not hide behind short-circuit
+// evaluation, and early-returning branches are exempt (the combinator
+// pattern, documented to consume nothing).
+package fixture
+
+import "repro/internal/sim"
+
+// Unbalanced draws once on one side and not the other — the stream
+// position after the if depends on the branch taken.
+func Unbalanced(rng *sim.RNG, bad bool) float64 {
+	v := 0.0
+	if bad { // want `branches of this if draw 1 vs 0 values from the seeded RNG`
+		v = rng.Float64()
+	}
+	return v
+}
+
+// Balanced draws exactly once on both sides.
+func Balanced(rng *sim.RNG, bad bool) float64 {
+	if bad {
+		return rng.Float64() * 0.5
+	}
+	_ = rng.Float64() // burn the draw to keep the stream aligned
+	return 0.25
+}
+
+// BurnedElse shows the explicit burn idiom on a rejoining conditional.
+func BurnedElse(rng *sim.RNG, hot bool) float64 {
+	v := 0.0
+	if hot {
+		v = rng.Float64()
+	} else {
+		_ = rng.Float64() // burned: both branches consume one draw
+	}
+	return v
+}
+
+// EarlyReturn is the combinator pattern: the guard branch terminates,
+// so it does not need to match the fallthrough side.
+func EarlyReturn(rng *sim.RNG, skip bool) float64 {
+	if skip {
+		return 0
+	}
+	return rng.Float64()
+}
+
+// ShortCircuit hides a draw behind &&: it is consumed only when the
+// left side passes.
+func ShortCircuit(rng *sim.RNG, p float64) bool {
+	return p > 0 && rng.Float64() < p // want `short-circuited side of && / \|\|`
+}
+
+// UnbalancedSwitch rejoins three ways with different draw counts.
+func UnbalancedSwitch(rng *sim.RNG, mode int) float64 {
+	v := 0.0
+	switch mode { // want `cases of this switch draw 1 vs 2 values from the seeded RNG`
+	case 0:
+		v = rng.Float64()
+	case 1:
+		v = rng.Float64() + rng.Float64()
+	default:
+		v = rng.Float64()
+	}
+	return v
+}
+
+// PerItem draws once per element: the trip count governs the total,
+// which structural counting treats as opaque, not a finding.
+func PerItem(rng *sim.RNG, xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x * rng.Float64()
+	}
+	return total
+}
+
+// Escapes passes the generator to a callee on both sides; opaque, so
+// no finding even though the counts are unknowable.
+func Escapes(rng *sim.RNG, deep bool) float64 {
+	if deep {
+		return helper(rng) + helper(rng)
+	}
+	return helper(rng)
+}
+
+func helper(rng *sim.RNG) float64 { return rng.Float64() }
