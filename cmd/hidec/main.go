@@ -5,6 +5,14 @@
 // suspending, watching its BTIM bit, and waking only for broadcast
 // traffic some local port wants.
 //
+// The client is supervised: a watchdog detects a dead or restarted AP
+// from beacon silence and, with -reconnect (the default),
+// re-associates with exponential backoff — the association request
+// carries the port list, so the AP's Client UDP Port Table is rebuilt
+// in one exchange. With -reconnect=false a lost AP ends the process
+// with exit code 3, so a supervisor can restart-on-disconnect without
+// also restarting on misconfiguration.
+//
 //	hidec -connect 127.0.0.1:5600 -ports 5353,17500 -mode hide
 package main
 
@@ -13,18 +21,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro"
-	"repro/internal/airlink"
 	"repro/internal/cli"
+	"repro/internal/daemon"
 	"repro/internal/dot11"
 	"repro/internal/energy"
 	"repro/internal/procnet"
-	"repro/internal/sim"
 	"repro/internal/station"
 )
 
@@ -38,6 +44,8 @@ func main() {
 	device := flag.String("device", "nexusone", "device profile for the energy report")
 	statsEvery := flag.Duration("stats", 10*time.Second, "status print interval")
 	runFor := flag.Duration("for", 0, "exit with an energy report after this long (0 = run forever)")
+	reconnect := flag.Bool("reconnect", true, "re-associate with backoff when the AP disappears (false: exit 3 instead)")
+	seed := flag.Uint64("seed", 0, "backoff-jitter seed (folded with the MAC)")
 	flag.Parse()
 
 	var m station.Mode
@@ -78,37 +86,37 @@ func main() {
 		}
 	}
 
-	inject := make(chan sim.Event, 256)
-	link, err := airlink.Dial(*connect, inject)
+	c, err := daemon.NewClient(daemon.ClientConfig{
+		Connect:   *connect,
+		SSID:      *ssid,
+		Addr:      dot11.MACAddr{0x02, 0x1d, 0xe0, 0xfe, 0x00, byte(*mac)},
+		Mode:      m,
+		Ports:     ports,
+		Reconnect: *reconnect,
+		Seed:      *seed,
+	})
 	if err != nil {
 		cli.Exit("hidec", err)
 	}
-	eng := sim.New()
-	st := station.New(eng, link, station.Config{
-		Addr:  dot11.MACAddr{0x02, 0x1d, 0xe0, 0xfe, 0x00, byte(*mac)},
-		BSSID: dot11.MACAddr{0x02, 0x1d, 0xe0, 0xff, 0x00, 0x01},
-		Mode:  m,
-	})
-	for _, p := range ports {
-		st.OpenPort(p)
-	}
-	st.StartAssociation(*ssid)
+	st := c.Station()
 	fmt.Printf("hidec: %s client -> %s, ports %v\n", m, *connect, ports)
 
-	// Periodic status and optional timed exit, on the engine clock.
+	// Periodic status on the engine clock (the engine is not running
+	// yet, so scheduling here is race-free).
 	var tick func(now time.Duration)
 	tick = func(now time.Duration) {
 		s := st.Stats()
-		state := "awake"
+		awake := "awake"
 		if st.Suspended() {
-			state = "suspended"
+			awake = "suspended"
 		}
-		fmt.Printf("[%8s] aid=%d %s beacons=%d group=%d useful=%d wakeups=%d portmsgs=%d\n",
-			now.Truncate(time.Second), st.AID(), state, s.BeaconsHeard,
-			s.GroupReceived, s.GroupUseful, s.Wakeups, s.PortMsgsSent)
-		eng.MustScheduleAfter(*statsEvery, tick)
+		cs := c.Stats()
+		fmt.Printf("[%8s] %s aid=%d %s beacons=%d group=%d useful=%d wakeups=%d portmsgs=%d reconnects=%d\n",
+			now.Truncate(time.Second), c.State(), st.AID(), awake, s.BeaconsHeard,
+			s.GroupReceived, s.GroupUseful, s.Wakeups, s.PortMsgsSent, cs.Reconnects)
+		c.Engine().MustScheduleAfter(*statsEvery, tick)
 	}
-	eng.MustScheduleAfter(*statsEvery, tick)
+	c.Engine().MustScheduleAfter(*statsEvery, tick)
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
@@ -118,12 +126,7 @@ func main() {
 		defer cancel()
 	}
 
-	go func() {
-		if err := link.Serve(); err != nil {
-			fmt.Fprintf(os.Stderr, "hidec: link: %v\n", err)
-		}
-	}()
-	err = eng.RunRealtime(ctx, inject)
+	err = c.Run(ctx)
 	if *runFor > 0 && errors.Is(err, context.DeadlineExceeded) {
 		// Final energy report over the run.
 		b, cerr := energy.Compute(st.Arrivals(), energy.Config{
@@ -136,6 +139,9 @@ func main() {
 		fmt.Printf("\nenergy over %v on %s: %.1f mW avg, %.1f%% suspended (%d wakeups)\n",
 			*runFor, dev.Name, b.AvgPowerW()*1000, b.SuspendFraction*100, st.Stats().Wakeups)
 		return
+	}
+	if errors.Is(err, daemon.ErrConnectionLost) {
+		cli.ExitCode("hidec", cli.CodeConnLost, err)
 	}
 	if err != nil && !errors.Is(err, context.Canceled) {
 		cli.Exit("hidec", err)

@@ -1,128 +1,79 @@
 // Command hided is the HIDE access-point daemon: a real process
-// serving the HIDE protocol over UDP "virtual air". Clients (hidec)
-// connect over the network, associate with real 802.11 frames, sync
-// their open UDP ports, and receive BTIM-filtered broadcast traffic —
-// all in wall-clock time.
+// serving the HIDE protocol over UDP "virtual air", supervised for
+// production-style operation. Alongside the air socket it serves an
+// HTTP control plane (health, metrics, port table, stations, live
+// fault injection), reloads its config live on SIGHUP or POST
+// /v1/reload, evicts clients that stop answering liveness pings, and
+// drains gracefully on SIGTERM — new associations are refused, every
+// client is disassociated with a real frame, and the port table is
+// flushed, all bounded by a drain deadline.
 //
 // Start an AP that replays cafe broadcast chatter:
 //
 //	hided -listen 127.0.0.1:5600 -scenario Starbucks
 //
+// or run it from a config file (enables live reload):
+//
+//	hided -config hided.json
+//
 // then attach clients:
 //
 //	hidec -connect 127.0.0.1:5600 -ports 5353 -mode hide
+//
+// and inspect it over the control plane:
+//
+//	curl http://127.0.0.1:5680/healthz
+//	curl http://127.0.0.1:5680/metrics
+//	curl -d '{"plan":{"kind":"loss","p":0.3}}' http://127.0.0.1:5680/v1/fault
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
-	"fmt"
-	"net"
-	"os"
-	"strings"
 	"time"
 
-	"repro"
-	"repro/internal/airlink"
-	"repro/internal/ap"
 	"repro/internal/cli"
-	"repro/internal/dot11"
-	"repro/internal/sim"
+	"repro/internal/daemon"
 )
 
 func main() {
+	config := flag.String("config", "", "JSON config file (enables live reload; flags below are ignored when set)")
 	listen := flag.String("listen", "127.0.0.1:5600", "UDP address to serve the virtual air on")
+	control := flag.String("control", "127.0.0.1:5680", "TCP address of the HTTP control plane")
 	ssid := flag.String("ssid", "hide-net", "network name")
 	dtim := flag.Int("dtim", 3, "DTIM period in beacons")
 	scenario := flag.String("scenario", "Starbucks", "broadcast traffic scenario to replay (none to disable)")
 	legacy := flag.Bool("legacy", false, "run as a stock AP without HIDE extensions")
-	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval")
+	pingEvery := flag.Duration("ping-every", time.Second, "client liveness sweep cadence")
+	maxMissed := flag.Int("max-missed-pings", 3, "unanswered sweeps before a client is evicted")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-drain deadline on SIGTERM")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	flag.Parse()
 
-	pc, err := net.ListenPacket("udp", *listen)
+	var d *daemon.Daemon
+	var err error
+	if *config != "" {
+		d, err = daemon.Open(*config)
+	} else {
+		d, err = daemon.New(daemon.Config{
+			Listen:         *listen,
+			Control:        *control,
+			SSID:           *ssid,
+			DTIMPeriod:     *dtim,
+			Scenario:       *scenario,
+			Legacy:         *legacy,
+			PingInterval:   daemon.Duration(*pingEvery),
+			MaxMissedPings: *maxMissed,
+			DrainDeadline:  daemon.Duration(*drain),
+			StatsEvery:     daemon.Duration(*statsEvery),
+		})
+	}
 	if err != nil {
 		cli.Exit("hided", err)
 	}
-	inject := make(chan sim.Event, 256)
-	hub := airlink.NewHub(pc, inject)
-	eng := sim.New()
-	bssid := dot11.MACAddr{0x02, 0x1d, 0xe0, 0xff, 0x00, 0x01}
-	a := ap.New(eng, hub, ap.Config{
-		BSSID: bssid, SSID: *ssid, HIDE: !*legacy, DTIMPeriod: *dtim,
-	})
-	a.Start()
 
-	// Replay scenario traffic on the engine clock (wall-paced).
-	if !strings.EqualFold(*scenario, "none") {
-		found := false
-		for _, s := range hide.Scenarios {
-			if strings.EqualFold(s.String(), *scenario) {
-				tr, err := hide.GenerateTrace(s)
-				if err != nil {
-					cli.Exit("hided", err)
-				}
-				scheduleTrace(eng, a, tr)
-				fmt.Printf("replaying %s broadcast chatter (%d frames over %v, looping)\n",
-					tr.Name, len(tr.Frames), tr.Duration)
-				found = true
-				break
-			}
-		}
-		if !found {
-			cli.Exit("hided", fmt.Errorf("unknown scenario %q", *scenario))
-		}
-	}
-
-	// Periodic stats on the engine clock.
-	var tick func(now time.Duration)
-	tick = func(now time.Duration) {
-		st := a.Stats()
-		hs := hub.Stats()
-		fmt.Printf("[%8s] peers=%d beacons=%d dtims=%d group=%d portmsgs=%d assoc=%d filteredU=%d\n",
-			now.Truncate(time.Second), hs.Peers, st.BeaconsSent, st.DTIMsSent,
-			st.GroupFramesSent, st.PortMsgsReceived, st.AssocResponses, st.UnicastFiltered)
-		eng.MustScheduleAfter(*statsEvery, tick)
-	}
-	eng.MustScheduleAfter(*statsEvery, tick)
-
-	fmt.Printf("hided: %s AP %q on %v (bssid %v, DTIM %d)\n",
-		map[bool]string{true: "legacy", false: "HIDE"}[*legacy], *ssid, hub.Addr(), bssid, *dtim)
-
-	go func() {
-		if err := hub.Serve(); err != nil {
-			fmt.Fprintf(os.Stderr, "hided: hub: %v\n", err)
-		}
-	}()
 	ctx, stop := cli.SignalContext()
 	defer stop()
-	if err := eng.RunRealtime(ctx, inject); err != nil && !errors.Is(err, context.Canceled) {
+	if err := d.Run(ctx); err != nil {
 		cli.Exit("hided", err)
 	}
-}
-
-// scheduleTrace schedules the trace's frames on the engine, looping
-// when the trace runs out.
-func scheduleTrace(eng *sim.Engine, a *ap.AP, tr *hide.Trace) {
-	var scheduleFrom func(offset time.Duration)
-	scheduleFrom = func(offset time.Duration) {
-		for _, f := range tr.Frames {
-			f := f
-			payload := f.Length - dot11.MACHeaderLen - dot11.UDPEncapsLen
-			if payload < 0 {
-				payload = 0
-			}
-			eng.MustScheduleAt(offset+f.At, func(time.Duration) {
-				a.EnqueueGroup(dot11.UDPDatagram{
-					DstIP:   [4]byte{255, 255, 255, 255},
-					DstPort: f.DstPort,
-					Payload: make([]byte, payload),
-				}, f.Rate)
-			})
-		}
-		eng.MustScheduleAt(offset+tr.Duration, func(now time.Duration) {
-			scheduleFrom(now)
-		})
-	}
-	scheduleFrom(0)
 }

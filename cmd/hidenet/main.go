@@ -33,6 +33,8 @@ func main() {
 	minutes := flag.Int("minutes", 0, "truncate the trace to this many minutes (0 = full)")
 	serve := flag.String("serve", "", "serve a live monitor/inject service on this UDP address (e.g. 127.0.0.1:5599)")
 	speed := flag.Float64("speed", 50, "realtime pacing speedup when serving")
+	pingEvery := flag.Duration("ping-every", time.Second, "tap liveness sweep cadence in virtual time (with -serve)")
+	maxMissed := flag.Int("max-missed-pings", 3, "unanswered liveness sweeps before a tap is evicted (with -serve)")
 	pcapOut := flag.String("pcap", "", "write a monitor-mode pcap capture of the run to this file")
 	flag.Parse()
 
@@ -124,6 +126,7 @@ func main() {
 		mon := net.ServeMonitor(pc)
 		//lint:ignore errdrop monitor teardown at process exit; the UDP service holds no buffered writes and the replay result is already reported
 		defer mon.Close()
+		mon.SetLiveness(*pingEvery, *maxMissed)
 		fmt.Printf("monitor service on %v (connect with hidetap); pacing at %gx\n",
 			mon.Server.Addr(), *speed)
 		ctx, stop := cli.SignalContext()

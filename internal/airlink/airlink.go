@@ -10,6 +10,17 @@
 // rate. The hub (AP side) learns peer addresses from the source MAC of
 // frames it receives and routes unicast frames accordingly; group
 // frames fan out to every known peer.
+//
+// Two hardening layers ride on top of the plain relay. The hub can
+// carry a live fault.Plan (SetFaultPlan): every outgoing delivery is
+// judged per peer — drop, corrupt, duplicate — exactly like the
+// in-process medium judges deliveries, so the chaos scenarios from
+// internal/fault run against a real daemon over real sockets. And the
+// hub tracks peer liveness (SetLiveness + PingPeers): a client process
+// that died without disassociating stops answering pings and is
+// evicted after a configurable number of missed sweeps, with a
+// callback so the daemon can clean up AP-side state and log the
+// eviction.
 package airlink
 
 import (
@@ -19,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/dot11"
+	"repro/internal/fault"
 	"repro/internal/medium"
 	"repro/internal/netmedium"
 	"repro/internal/sim"
@@ -48,6 +60,28 @@ func dstMAC(raw []byte) (dot11.MACAddr, bool) {
 	return dst, true
 }
 
+// Liveness parameterizes the hub's peer-eviction sweep (PingPeers).
+type Liveness struct {
+	// MaxMissedPings is how many consecutive sweeps a peer may leave
+	// unanswered before eviction (default 3).
+	MaxMissedPings int
+}
+
+// normalized fills defaults.
+func (l Liveness) normalized() Liveness {
+	if l.MaxMissedPings <= 0 {
+		l.MaxMissedPings = 3
+	}
+	return l
+}
+
+// hubPeer is one learned client endpoint with its liveness state.
+type hubPeer struct {
+	mac    dot11.MACAddr
+	addr   net.Addr
+	missed int // consecutive unanswered ping sweeps
+}
+
 // Hub is the AP-side link: it owns the listening socket, learns peers,
 // and fans group frames out to all of them.
 type Hub struct {
@@ -56,8 +90,19 @@ type Hub struct {
 
 	mu    sync.Mutex
 	node  medium.Node // the local AP
-	peers map[dot11.MACAddr]net.Addr
+	peers map[dot11.MACAddr]*hubPeer
+	// order keeps the peers in learn order so fan-out (and the fault
+	// plan's per-peer RNG draws) replay in a deterministic sequence for
+	// a given association order, mirroring the in-process medium's
+	// attach-order fanout.
+	order []dot11.MACAddr
 	stats HubStats
+
+	plan    fault.Plan
+	rng     *sim.RNG
+	clock   func() time.Duration // virtual time for fault windows; nil = zero
+	live    Liveness
+	onEvict func(mac dot11.MACAddr)
 }
 
 // HubStats counts hub activity.
@@ -66,12 +111,19 @@ type HubStats struct {
 	FramesOut  int
 	Peers      int
 	BadPackets int
+	// Fault-plan verdicts applied to outgoing deliveries.
+	FaultDropped    int
+	FaultCorrupted  int
+	FaultDuplicated int
+	// Liveness sweep activity.
+	PingsSent int
+	Evictions int
 }
 
 // NewHub wraps a listening socket. Received frames are delivered to
 // the attached node via the inject channel (on the engine goroutine).
 func NewHub(pc net.PacketConn, inject chan<- sim.Event) *Hub {
-	return &Hub{pc: pc, inject: inject, peers: make(map[dot11.MACAddr]net.Addr)}
+	return &Hub{pc: pc, inject: inject, peers: make(map[dot11.MACAddr]*hubPeer)}
 }
 
 var _ medium.Channel = (*Hub)(nil)
@@ -96,7 +148,119 @@ func (h *Hub) Attach(addr dot11.MACAddr, n medium.Node) {
 	h.node = n
 }
 
-// Transmit sends a frame to its addressee(s) over UDP.
+// SetClock installs the virtual-time source stamped onto fault
+// deliveries (so Window-scoped plans work on the live link). Call it
+// with the owning engine's Now before the engine runs; a nil fn stamps
+// zero. The clock is only read from Transmit, which runs on the engine
+// goroutine.
+func (h *Hub) SetClock(fn func() time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.clock = fn
+}
+
+// SetFaultPlan installs (or, with nil, clears) a fault plan on the
+// live link. Every outgoing delivery — one per peer for group frames —
+// is judged by the plan with randomness drawn from a fresh RNG seeded
+// with seed, exactly mirroring the in-process medium's fault layer, so
+// the PR-4 chaos scenarios can be driven against a running daemon.
+func (h *Hub) SetFaultPlan(plan fault.Plan, seed uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.plan = plan
+	if plan != nil {
+		h.rng = sim.NewRNG(seed)
+	} else {
+		h.rng = nil
+	}
+}
+
+// FaultActive reports whether a fault plan is currently installed.
+func (h *Hub) FaultActive() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.plan != nil
+}
+
+// SetLiveness configures the peer-eviction sweep and the eviction
+// callback. onEvict runs with the hub lock released, from whichever
+// goroutine calls PingPeers (the daemon drives sweeps from the engine
+// goroutine, so callbacks may safely touch engine state there).
+func (h *Hub) SetLiveness(cfg Liveness, onEvict func(mac dot11.MACAddr)) {
+	cfg = cfg.normalized()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.live = cfg
+	h.onEvict = onEvict
+}
+
+// PingPeers runs one liveness sweep: peers that have left
+// MaxMissedPings consecutive sweeps unanswered are evicted, the rest
+// are pinged again. Any datagram from a peer — a frame, a pong —
+// resets its counter. Drive it at a steady cadence on the engine
+// clock; evicted MACs are reported through the SetLiveness callback.
+func (h *Hub) PingPeers() {
+	ping, err := netmedium.Message{Type: netmedium.MsgPing}.Marshal()
+	if err != nil {
+		return
+	}
+	var evicted []dot11.MACAddr
+	h.mu.Lock()
+	live := h.live.normalized()
+	kept := h.order[:0]
+	for _, mac := range h.order {
+		p := h.peers[mac]
+		if p == nil {
+			continue
+		}
+		if p.missed >= live.MaxMissedPings {
+			delete(h.peers, mac)
+			h.stats.Evictions++
+			evicted = append(evicted, mac)
+			continue
+		}
+		kept = append(kept, mac)
+		p.missed++
+		if _, err := h.pc.WriteTo(ping, p.addr); err == nil {
+			h.stats.PingsSent++
+		}
+	}
+	h.order = kept
+	onEvict := h.onEvict
+	h.mu.Unlock()
+	if onEvict != nil {
+		for _, mac := range evicted {
+			onEvict(mac)
+		}
+	}
+}
+
+// DropPeer forgets a peer immediately (a disassociated client); its
+// next frame re-learns it.
+func (h *Hub) DropPeer(mac dot11.MACAddr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.removePeerLocked(mac)
+}
+
+// removePeerLocked deletes a peer from the map and the fan-out order.
+// Callers hold h.mu.
+func (h *Hub) removePeerLocked(mac dot11.MACAddr) {
+	if _, ok := h.peers[mac]; !ok {
+		return
+	}
+	delete(h.peers, mac)
+	for i, m := range h.order {
+		if m == mac {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Transmit sends a frame to its addressee(s) over UDP, applying the
+// installed fault plan per delivery. It is called from the engine
+// goroutine only.
 func (h *Hub) Transmit(src dot11.MACAddr, raw []byte, rate dot11.Rate) time.Duration {
 	dst, ok := dstMAC(raw)
 	if !ok {
@@ -109,19 +273,63 @@ func (h *Hub) Transmit(src dot11.MACAddr, raw []byte, rate dot11.Rate) time.Dura
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if dst.IsMulticast() {
-		for _, peer := range h.peers {
-			if _, err := h.pc.WriteTo(msg, peer); err == nil {
-				h.stats.FramesOut++
+		for _, mac := range h.order {
+			peer := h.peers[mac]
+			if peer == nil {
+				continue
 			}
+			h.deliverLocked(src, dst, mac, peer.addr, raw, msg, rate)
 		}
 		return 0
 	}
 	if peer, ok := h.peers[dst]; ok {
-		if _, err := h.pc.WriteTo(msg, peer); err == nil {
-			h.stats.FramesOut++
-		}
+		h.deliverLocked(src, dst, dst, peer.addr, raw, msg, rate)
 	}
 	return 0
+}
+
+// deliverLocked judges one (frame, peer) delivery against the fault
+// plan and writes the surviving copies. Callers hold h.mu.
+func (h *Hub) deliverLocked(src, dst, rcv dot11.MACAddr, to net.Addr, raw, msg []byte, rate dot11.Rate) {
+	out := msg
+	if h.plan != nil {
+		at := time.Duration(0)
+		if h.clock != nil {
+			at = h.clock()
+		}
+		v := h.plan.Deliver(fault.Delivery{
+			Raw:  raw,
+			Kind: dot11.Classify(raw),
+			Src:  src,
+			Dst:  dst,
+			Rcv:  rcv,
+			At:   at,
+		}, h.rng)
+		if v.Drop {
+			h.stats.FaultDropped++
+			return
+		}
+		if v.Corrupt {
+			// Corrupt a private copy of the receiver's datagram; the
+			// shared msg buffer keeps serving the other peers untouched.
+			cp := append([]byte(nil), msg...)
+			if len(raw) > 0 {
+				i := int(h.rng.Uint64() % uint64(len(raw)))
+				cp[len(cp)-len(raw)+i] ^= 0xff
+			}
+			out = cp
+			h.stats.FaultCorrupted++
+		}
+		if v.Duplicate {
+			h.stats.FaultDuplicated++
+			if _, err := h.pc.WriteTo(out, to); err == nil {
+				h.stats.FramesOut++
+			}
+		}
+	}
+	if _, err := h.pc.WriteTo(out, to); err == nil {
+		h.stats.FramesOut++
+	}
 }
 
 // Serve reads datagrams until the socket closes, delivering frames to
@@ -135,7 +343,29 @@ func (h *Hub) Serve() error {
 			return err
 		}
 		m, err := netmedium.Unmarshal(buf[:n])
-		if err != nil || m.Type != netmedium.MsgFrame {
+		if err != nil {
+			h.mu.Lock()
+			h.stats.BadPackets++
+			h.mu.Unlock()
+			continue
+		}
+		switch m.Type {
+		case netmedium.MsgFrame:
+		case netmedium.MsgPong:
+			h.mu.Lock()
+			h.touchLocked(from)
+			h.mu.Unlock()
+			continue
+		case netmedium.MsgPing:
+			h.mu.Lock()
+			h.touchLocked(from)
+			h.mu.Unlock()
+			if pong, err := (netmedium.Message{Type: netmedium.MsgPong}).Marshal(); err == nil {
+				//lint:ignore errdrop best-effort pong; a lost reply looks like a lost packet
+				_, _ = h.pc.WriteTo(pong, from)
+			}
+			continue
+		default:
 			h.mu.Lock()
 			h.stats.BadPackets++
 			h.mu.Unlock()
@@ -144,7 +374,7 @@ func (h *Hub) Serve() error {
 		raw := m.Payload
 		h.mu.Lock()
 		if src, ok := srcMAC(raw); ok {
-			h.peers[src] = from
+			h.learnLocked(src, from)
 		}
 		node := h.node
 		h.stats.FramesIn++
@@ -159,6 +389,28 @@ func (h *Hub) Serve() error {
 	}
 }
 
+// learnLocked records (or refreshes) a peer endpoint. Callers hold h.mu.
+func (h *Hub) learnLocked(mac dot11.MACAddr, from net.Addr) {
+	if p, ok := h.peers[mac]; ok {
+		p.addr = from
+		p.missed = 0
+		return
+	}
+	h.peers[mac] = &hubPeer{mac: mac, addr: from}
+	h.order = append(h.order, mac)
+}
+
+// touchLocked resets the liveness counter of the peer at a transport
+// address (pongs carry no MAC). Callers hold h.mu.
+func (h *Hub) touchLocked(from net.Addr) {
+	fs := from.String()
+	for _, p := range h.peers {
+		if p.addr.String() == fs {
+			p.missed = 0
+		}
+	}
+}
+
 // Close shuts the hub's socket; Serve returns.
 func (h *Hub) Close() error { return h.pc.Close() }
 
@@ -167,9 +419,12 @@ type Link struct {
 	conn   net.Conn
 	inject chan<- sim.Event
 
-	mu    sync.Mutex
-	node  medium.Node
-	stats LinkStats
+	mu           sync.Mutex
+	node         medium.Node
+	stats        LinkStats
+	writeTimeout time.Duration
+	readIdle     time.Duration
+	onIdle       func()
 }
 
 // LinkStats counts link activity.
@@ -177,6 +432,14 @@ type LinkStats struct {
 	FramesIn   int
 	FramesOut  int
 	BadPackets int
+	// WriteErrors counts sends that failed or timed out (per-operation
+	// write deadline); the frame is treated as lost on the air.
+	WriteErrors int
+	// IdlePeriods counts read-idle expiries (no datagram from the hub
+	// for the configured window) reported through the idle callback.
+	IdlePeriods int
+	// PingsAnswered counts hub liveness pings answered with a pong.
+	PingsAnswered int
 }
 
 // Dial connects to a hub.
@@ -197,17 +460,42 @@ func (l *Link) Attach(addr dot11.MACAddr, n medium.Node) {
 	l.node = n
 }
 
-// Transmit sends a frame to the hub.
+// SetIOTimeouts installs per-operation deadlines: every Transmit gets
+// a write deadline of write (0 leaves writes unbounded), and Serve
+// arms a read deadline of readIdle per read — when no datagram arrives
+// within it, onIdle fires (from the Serve goroutine) and reading
+// continues, so a silent hub surfaces as idleness instead of a hung
+// read. Configure before Serve starts.
+func (l *Link) SetIOTimeouts(write, readIdle time.Duration, onIdle func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.writeTimeout = write
+	l.readIdle = readIdle
+	l.onIdle = onIdle
+}
+
+// Transmit sends a frame to the hub, bounded by the configured write
+// deadline.
 func (l *Link) Transmit(src dot11.MACAddr, raw []byte, rate dot11.Rate) time.Duration {
 	msg, err := netmedium.Message{Type: netmedium.MsgFrame, Rate: rate, Payload: raw}.Marshal()
 	if err != nil {
 		return 0
 	}
-	if _, err := l.conn.Write(msg); err == nil {
-		l.mu.Lock()
-		l.stats.FramesOut++
-		l.mu.Unlock()
+	l.mu.Lock()
+	wt := l.writeTimeout
+	l.mu.Unlock()
+	if wt > 0 {
+		//lint:ignore errdrop a deadline that cannot be set surfaces as the write error below
+		_ = l.conn.SetWriteDeadline(time.Now().Add(wt))
 	}
+	_, err = l.conn.Write(msg)
+	l.mu.Lock()
+	if err == nil {
+		l.stats.FramesOut++
+	} else {
+		l.stats.WriteErrors++
+	}
+	l.mu.Unlock()
 	return 0
 }
 
@@ -218,16 +506,55 @@ func (l *Link) Stats() LinkStats {
 	return l.stats
 }
 
-// Serve reads frames from the hub until the socket closes.
+// Serve reads frames from the hub until the socket closes, answering
+// liveness pings and reporting read-idle periods.
 func (l *Link) Serve() error {
 	buf := make([]byte, maxDatagram)
 	for {
+		l.mu.Lock()
+		idle := l.readIdle
+		onIdle := l.onIdle
+		l.mu.Unlock()
+		if idle > 0 {
+			//lint:ignore errdrop a deadline that cannot be set degrades to a blocking read
+			_ = l.conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		n, err := l.conn.Read(buf)
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && idle > 0 {
+				l.mu.Lock()
+				l.stats.IdlePeriods++
+				l.mu.Unlock()
+				if onIdle != nil {
+					onIdle()
+				}
+				continue
+			}
 			return err
 		}
 		m, err := netmedium.Unmarshal(buf[:n])
-		if err != nil || m.Type != netmedium.MsgFrame {
+		if err != nil {
+			l.mu.Lock()
+			l.stats.BadPackets++
+			l.mu.Unlock()
+			continue
+		}
+		switch m.Type {
+		case netmedium.MsgPing:
+			// Answer the hub's liveness sweep so an idle (suspended)
+			// client is not evicted between frames.
+			if pong, perr := (netmedium.Message{Type: netmedium.MsgPong}).Marshal(); perr == nil {
+				//lint:ignore errdrop best-effort pong; a missed reply costs one sweep
+				_, _ = l.conn.Write(pong)
+			}
+			l.mu.Lock()
+			l.stats.PingsAnswered++
+			l.mu.Unlock()
+			continue
+		case netmedium.MsgPong:
+			continue
+		case netmedium.MsgFrame:
+		default:
 			l.mu.Lock()
 			l.stats.BadPackets++
 			l.mu.Unlock()

@@ -1,0 +1,313 @@
+package airlink
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/fault"
+	"repro/internal/netmedium"
+	"repro/internal/sim"
+)
+
+// TestHubFaultPlanTotalLoss installs a 100% loss plan and checks that
+// nothing leaves the hub while the plan is live, then clears it and
+// checks traffic flows again.
+func TestHubFaultPlanTotalLoss(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(pc, make(chan sim.Event, 16))
+	go hub.Serve()
+	defer hub.Close()
+
+	peer := dialAndRegister(t, hub)
+	defer peer.Close()
+
+	hub.SetFaultPlan(fault.Loss{P: 1}, 42)
+	if !hub.FaultActive() {
+		t.Fatal("FaultActive false after install")
+	}
+	beacon := broadcastBeacon(t)
+	hub.Transmit(bssid, beacon, dot11.Rate1Mbps)
+	st := hub.Stats()
+	if st.FramesOut != 0 || st.FaultDropped != 1 {
+		t.Fatalf("total loss: FramesOut=%d FaultDropped=%d", st.FramesOut, st.FaultDropped)
+	}
+
+	hub.SetFaultPlan(nil, 0)
+	if hub.FaultActive() {
+		t.Fatal("FaultActive true after clear")
+	}
+	hub.Transmit(bssid, beacon, dot11.Rate1Mbps)
+	if got := hub.Stats().FramesOut; got != 1 {
+		t.Fatalf("after clear FramesOut = %d, want 1", got)
+	}
+}
+
+// TestHubFaultPlanDuplicate checks that a duplicate verdict sends the
+// datagram twice and is counted.
+func TestHubFaultPlanDuplicate(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(pc, make(chan sim.Event, 16))
+	go hub.Serve()
+	defer hub.Close()
+
+	peer := dialAndRegister(t, hub)
+	defer peer.Close()
+
+	hub.SetFaultPlan(fault.Duplicate{P: 1}, 7)
+	hub.Transmit(bssid, broadcastBeacon(t), dot11.Rate1Mbps)
+	st := hub.Stats()
+	if st.FramesOut != 2 || st.FaultDuplicated != 1 {
+		t.Fatalf("duplicate: FramesOut=%d FaultDuplicated=%d", st.FramesOut, st.FaultDuplicated)
+	}
+}
+
+// TestHubFaultPlanCorruptIsolatesPeers corrupts a private copy per
+// delivery: with two peers and a corrupt-everything plan, both peers
+// still receive a datagram (corruption flips payload bytes, it must
+// not drop or cross-contaminate).
+func TestHubFaultPlanCorrupt(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(pc, make(chan sim.Event, 16))
+	go hub.Serve()
+	defer hub.Close()
+
+	peer := dialAndRegister(t, hub)
+	defer peer.Close()
+
+	hub.SetFaultPlan(fault.Corrupt{P: 1}, 3)
+	raw := broadcastBeacon(t)
+	hub.Transmit(bssid, raw, dot11.Rate1Mbps)
+	st := hub.Stats()
+	if st.FramesOut != 1 || st.FaultCorrupted != 1 {
+		t.Fatalf("corrupt: FramesOut=%d FaultCorrupted=%d", st.FramesOut, st.FaultCorrupted)
+	}
+	// The corrupted datagram reaches the peer and differs from the
+	// original frame in exactly one byte.
+	buf := make([]byte, maxDatagram)
+	peer.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := peer.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := netmedium.Unmarshal(buf[:n])
+	if err != nil {
+		t.Fatalf("corrupted datagram unparseable at the transport layer: %v", err)
+	}
+	diff := 0
+	for i := range raw {
+		if i < len(m.Payload) && m.Payload[i] != raw[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupted payload differs in %d bytes, want 1", diff)
+	}
+}
+
+// TestHubLivenessEviction registers two peers; one answers pings, the
+// other goes silent. After enough sweeps only the silent one is
+// evicted and reported.
+func TestHubLivenessEviction(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(pc, make(chan sim.Event, 16))
+	go hub.Serve()
+	defer hub.Close()
+
+	evicted := make(chan dot11.MACAddr, 4)
+	hub.SetLiveness(Liveness{MaxMissedPings: 2}, func(mac dot11.MACAddr) {
+		evicted <- mac
+	})
+
+	liveMAC := dot11.MACAddr{0x02, 0, 0, 0, 0, 0x01}
+	deadMAC := dot11.MACAddr{0x02, 0, 0, 0, 0, 0x02}
+
+	// The live peer is a full Link: its Serve loop auto-pongs pings.
+	liveInject := make(chan sim.Event, 16)
+	live, err := Dial(pc.LocalAddr().String(), liveInject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	go live.Serve()
+	go func() { // drain injected frames; no engine in this test
+		for range liveInject {
+		}
+	}()
+	registerPeer(t, live.conn, liveMAC)
+
+	// The dead peer registers then never reads or answers again.
+	dead, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dead.Close()
+	registerPeer(t, dead, deadMAC)
+
+	waitPeers(t, hub, 2)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		hub.PingPeers()
+		select {
+		case mac := <-evicted:
+			if mac != deadMAC {
+				t.Fatalf("evicted %v, want %v", mac, deadMAC)
+			}
+			if n := hub.Stats().Peers; n != 1 {
+				t.Fatalf("peers after eviction = %d, want 1", n)
+			}
+			if hub.Stats().Evictions != 1 {
+				t.Fatalf("Evictions = %d, want 1", hub.Stats().Evictions)
+			}
+			if live.Stats().PingsAnswered == 0 {
+				t.Fatal("live peer never answered a ping")
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no eviction after deadline: %+v", hub.Stats())
+		}
+		// Real sweeps run on the engine clock; here a short wall sleep
+		// gives the live peer's pong time to land between sweeps.
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestHubDropPeer forgets a peer immediately.
+func TestHubDropPeer(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(pc, make(chan sim.Event, 16))
+	go hub.Serve()
+	defer hub.Close()
+
+	peer := dialAndRegister(t, hub)
+	defer peer.Close()
+	hub.DropPeer(dot11.MACAddr{0x02, 0, 0, 0, 0, 0x01})
+	if n := hub.Stats().Peers; n != 0 {
+		t.Fatalf("peers after DropPeer = %d, want 0", n)
+	}
+	hub.Transmit(bssid, broadcastBeacon(t), dot11.Rate1Mbps)
+	if got := hub.Stats().FramesOut; got != 0 {
+		t.Fatalf("dropped peer still receives frames: FramesOut=%d", got)
+	}
+}
+
+// TestLinkReadIdleCallback checks the read-idle deadline fires the
+// callback instead of hanging or killing the serve loop.
+func TestLinkReadIdleCallback(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(pc, make(chan sim.Event, 16))
+	go hub.Serve()
+	defer hub.Close()
+
+	inject := make(chan sim.Event, 16)
+	link, err := Dial(pc.LocalAddr().String(), inject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	idle := make(chan struct{}, 8)
+	link.SetIOTimeouts(time.Second, 20*time.Millisecond, func() {
+		select {
+		case idle <- struct{}{}:
+		default:
+		}
+	})
+	go link.Serve()
+
+	select {
+	case <-idle:
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle callback never fired on a silent link")
+	}
+	if link.Stats().IdlePeriods == 0 {
+		t.Fatal("IdlePeriods not counted")
+	}
+	// The serve loop must still be reading: a frame sent after idle
+	// periods is delivered.
+	registerPeer(t, link.conn, dot11.MACAddr{0x02, 0, 0, 0, 0, 0x09})
+	waitPeers(t, hub, 1)
+	hub.Transmit(bssid, broadcastBeacon(t), dot11.Rate1Mbps)
+	deadline := time.Now().Add(5 * time.Second)
+	for link.Stats().FramesIn == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("frame not received after idle periods")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// registerPeer sends one frame from mac so the hub learns the peer's
+// transport address.
+func registerPeer(t *testing.T, conn net.Conn, mac dot11.MACAddr) {
+	t.Helper()
+	req := &dot11.AssocRequest{Header: dot11.MACHeader{Addr1: bssid, Addr2: mac, Addr3: bssid}}
+	raw, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netmedium.Message{Type: netmedium.MsgFrame, Rate: dot11.Rate1Mbps, Payload: raw}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dialAndRegister connects a bare UDP socket and registers it as peer
+// 02:00:00:00:00:01, waiting until the hub has learned it.
+func dialAndRegister(t *testing.T, hub *Hub) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("udp", hub.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerPeer(t, conn, dot11.MACAddr{0x02, 0, 0, 0, 0, 0x01})
+	waitPeers(t, hub, 1)
+	return conn
+}
+
+// waitPeers blocks until the hub has learned n peers.
+func waitPeers(t *testing.T, hub *Hub, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Stats().Peers < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("hub never learned %d peers: %+v", n, hub.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// broadcastBeacon builds a minimal broadcast frame for fan-out tests.
+func broadcastBeacon(t *testing.T) []byte {
+	t.Helper()
+	b := &dot11.Beacon{Header: dot11.MACHeader{Addr1: dot11.Broadcast, Addr2: bssid, Addr3: bssid}}
+	raw, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}

@@ -9,6 +9,7 @@ package ap
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/dot11"
@@ -128,6 +129,12 @@ type Stats struct {
 	// reassociation time from the distribution system's replicated
 	// directory (warm handoff) rather than from the station itself.
 	PortsSeededOnRoam int
+	// DisassocsSent counts AP-initiated disassociation frames
+	// (DisassociateAll during drain, liveness evictions).
+	DisassocsSent int
+	// AssocsRejectedDraining counts association attempts refused with
+	// StatusAPFull while the AP was draining.
+	AssocsRejectedDraining int
 }
 
 // BeaconView is the snapshot of AP state an Observer receives for each
@@ -185,6 +192,10 @@ type AP struct {
 	tickFn sim.Event // bound beaconTick; reused across reschedules
 	dirty  bool      // beacon-relevant state changed since last rebuild
 	cache  beaconCache
+	// draining marks a graceful shutdown in progress: new association
+	// and reassociation attempts are refused with StatusAPFull while
+	// existing clients are disassociated with real frames.
+	draining bool
 }
 
 // beaconCache holds the last fully built beacon. While no
@@ -354,6 +365,96 @@ func (a *AP) Disassociate(addr dot11.MACAddr) {
 	delete(a.byAID, c.aid)
 	delete(a.clients, addr)
 	a.dirty = true
+}
+
+// AIDOf returns the AID the AP assigned to a station, or false when
+// the station is not associated.
+func (a *AP) AIDOf(addr dot11.MACAddr) (dot11.AID, bool) {
+	c, ok := a.clients[addr]
+	if !ok {
+		return 0, false
+	}
+	return c.aid, true
+}
+
+// ClientInfo is one row of the AP's association table, snapshotted for
+// the control plane.
+type ClientInfo struct {
+	Addr        dot11.MACAddr
+	AID         dot11.AID
+	HIDECapable bool
+	PSMode      bool
+	// Members is the number of stations this association stands for
+	// (>1 for aggregate-cohort representatives).
+	Members int
+	// BufferedUnicast is the client's buffered downlink frame count.
+	BufferedUnicast int
+}
+
+// ClientList snapshots the association table in ascending AID order —
+// a stable order for the control plane and for drain-time fan-out.
+func (a *AP) ClientList() []ClientInfo {
+	out := make([]ClientInfo, 0, len(a.clients))
+	for _, c := range a.clients {
+		members := c.count
+		if members < 1 {
+			members = 1
+		}
+		out = append(out, ClientInfo{
+			Addr:            c.addr,
+			AID:             c.aid,
+			HIDECapable:     c.hideCapable,
+			PSMode:          c.psMode,
+			Members:         members,
+			BufferedUnicast: len(c.unicast),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AID < out[j].AID })
+	return out
+}
+
+// BeginDrain starts a graceful shutdown: from now on association and
+// reassociation requests are refused with StatusAPFull, so no new
+// clients arrive while the daemon tears down.
+func (a *AP) BeginDrain() { a.draining = true }
+
+// Draining reports whether BeginDrain was called.
+func (a *AP) Draining() bool { return a.draining }
+
+// DisassociateClient sends a real disassociation frame to one station
+// (Addr1 = station, Addr2/Addr3 = BSSID) and removes its association
+// and port-table state. It is the AP-initiated mirror of the
+// station's Leave and is used for drain fan-out and liveness
+// evictions. Reports false when the station is not associated.
+func (a *AP) DisassociateClient(addr dot11.MACAddr, reason uint16) bool {
+	if _, ok := a.clients[addr]; !ok {
+		return false
+	}
+	d := &dot11.Disassoc{
+		Header: dot11.MACHeader{
+			Addr1: addr, Addr2: a.cfg.BSSID, Addr3: a.cfg.BSSID,
+			Seq: a.nextSeq(),
+		},
+		Reason: reason,
+	}
+	a.med.Transmit(a.cfg.BSSID, d.Marshal(), a.cfg.BeaconRate)
+	a.stats.DisassocsSent++
+	a.Disassociate(addr)
+	return true
+}
+
+// DisassociateAll disassociates every client with a real frame, in
+// ascending AID order for deterministic fan-out, and returns how many
+// frames went out. Part of the drain sequence: BeginDrain, flush, then
+// DisassociateAll before the daemon exits.
+func (a *AP) DisassociateAll(reason uint16) int {
+	n := 0
+	for _, ci := range a.ClientList() {
+		if a.DisassociateClient(ci.Addr, reason) {
+			n++
+		}
+	}
+	return n
 }
 
 // Start schedules the beacon loop. The first beacon goes out one
@@ -665,7 +766,12 @@ func (a *AP) handleAssocRequest(raw []byte, now time.Duration) {
 		HIDESupported: a.cfg.HIDE,
 	}
 	c, ok := a.clients[addr]
-	if !ok {
+	if !ok && a.draining {
+		// A draining AP takes no new clients; StatusAPFull tells the
+		// station to back off and try elsewhere.
+		resp.Status = dot11.StatusAPFull
+		a.stats.AssocsRejectedDraining++
+	} else if !ok {
 		aid, err := a.Associate(addr, req.HIDECapable)
 		if err != nil {
 			resp.Status = dot11.StatusAPFull
@@ -715,7 +821,10 @@ func (a *AP) handleReassocRequest(raw []byte, now time.Duration) {
 		HIDESupported: a.cfg.HIDE,
 	}
 	c, ok := a.clients[addr]
-	if !ok {
+	if !ok && a.draining {
+		resp.Status = dot11.StatusAPFull
+		a.stats.AssocsRejectedDraining++
+	} else if !ok {
 		if _, err := a.Associate(addr, req.HIDECapable); err != nil {
 			resp.Status = dot11.StatusAPFull
 		} else {

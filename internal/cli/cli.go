@@ -31,6 +31,13 @@ func WorkersFlag() *int {
 	return j
 }
 
+// CodeConnLost is the exit code for a client daemon whose connection
+// to the AP died with reconnection disabled — distinct from generic
+// failure (1), usage mistakes (2), and interruption (130) so process
+// supervisors can restart-on-disconnect without also restarting on
+// misconfiguration.
+const CodeConnLost = 3
+
 // Exit prints err the conventional way and exits non-zero, using exit
 // code 130 for an interrupt (the shell convention for SIGINT) so
 // cancellation is distinguishable from failure.
@@ -40,6 +47,13 @@ func Exit(prog string, err error) {
 		os.Exit(130)
 	}
 	os.Exit(1)
+}
+
+// ExitCode prints err and exits with the given code — for failures
+// that carry a dedicated code (e.g. CodeConnLost).
+func ExitCode(prog string, code int, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	os.Exit(code)
 }
 
 // Abort exits through Exit when ctx has been cancelled; otherwise it

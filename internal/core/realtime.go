@@ -17,13 +17,18 @@ import (
 // stream and can inject broadcast traffic into the AP while the
 // simulation runs — the live-observability surface of the simulator.
 
+// defaultPingEvery is the default liveness-sweep cadence in virtual
+// time.
+const defaultPingEvery = time.Second
+
 // Monitor couples a Network to a netmedium server.
 type Monitor struct {
 	Server *netmedium.Server
 
-	mu      sync.Mutex
-	pending []netmedium.InjectRequest
-	served  chan struct{}
+	mu        sync.Mutex
+	pending   []netmedium.InjectRequest
+	served    chan struct{}
+	pingEvery time.Duration // 0 = defaultPingEvery
 }
 
 // ServeMonitor starts a monitor/inject service on pc. Every frame on
@@ -46,6 +51,27 @@ func (n *Network) ServeMonitor(pc net.PacketConn) *Monitor {
 		_ = m.Server.Serve() //lint:ignore errdrop Serve returns only when Close shuts the socket
 	}()
 	return m
+}
+
+// SetLiveness configures the tap-eviction parameters: pingEvery is
+// the sweep cadence in virtual time (0 keeps the one-second default),
+// maxMissed is how many unanswered sweeps evict a tap (<1 keeps the
+// default of 3).
+func (m *Monitor) SetLiveness(pingEvery time.Duration, maxMissed int) {
+	m.mu.Lock()
+	m.pingEvery = pingEvery
+	m.mu.Unlock()
+	m.Server.SetLiveness(maxMissed)
+}
+
+// livenessInterval is the effective sweep cadence.
+func (m *Monitor) livenessInterval() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pingEvery > 0 {
+		return m.pingEvery
+	}
+	return defaultPingEvery
 }
 
 // Close stops the monitor service and waits for its goroutine.
@@ -103,8 +129,12 @@ func (n *Network) ReplayRealtime(ctx context.Context, tr *trace.Trace, speed flo
 	// minSleep bounds timer churn: virtual gaps shorter than this (in
 	// wall time) dispatch immediately.
 	const minSleep = 200 * time.Microsecond
-	// Liveness sweeps reap crashed taps once per virtual second.
-	const pingEvery = time.Second
+	// Liveness sweeps reap crashed taps at the configured cadence
+	// (default once per virtual second).
+	pingEvery := defaultPingEvery
+	if n.monitor != nil {
+		pingEvery = n.monitor.livenessInterval()
+	}
 	nextPing := pingEvery
 	for {
 		select {

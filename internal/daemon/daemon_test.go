@@ -1,0 +1,325 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/control"
+)
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "hided.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfigDefaultsAndDurations(t *testing.T) {
+	path := writeConfig(t, `{
+		"listen": "127.0.0.1:0",
+		"beacon_interval": "20ms",
+		"drain_deadline": "2s",
+		"ping_interval": 50000000
+	}`)
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(cfg.BeaconInterval) != 20*time.Millisecond {
+		t.Errorf("beacon_interval = %v", time.Duration(cfg.BeaconInterval))
+	}
+	if time.Duration(cfg.PingInterval) != 50*time.Millisecond {
+		t.Errorf("numeric ping_interval = %v", time.Duration(cfg.PingInterval))
+	}
+	if time.Duration(cfg.DrainDeadline) != 2*time.Second {
+		t.Errorf("drain_deadline = %v", time.Duration(cfg.DrainDeadline))
+	}
+	// Defaults filled in.
+	if cfg.SSID != "hide-net" || cfg.DTIMPeriod != 3 || cfg.MaxMissedPings != 3 {
+		t.Errorf("defaults drifted: %+v", cfg)
+	}
+	if cfg.Scenario != "Starbucks" {
+		t.Errorf("default scenario = %q", cfg.Scenario)
+	}
+}
+
+func TestLoadConfigRejectsBadInput(t *testing.T) {
+	for name, body := range map[string]string{
+		"unknown-field": `{"listne": "127.0.0.1:0"}`,
+		"bad-duration":  `{"drain_deadline": "yesterday"}`,
+		"bad-scenario":  `{"scenario": "NoSuchPlace"}`,
+		"bad-bssid":     `{"bssid": "zz:zz:zz:zz:zz:zz"}`,
+		"not-json":      `listen = 127.0.0.1`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadConfig(writeConfig(t, body)); err == nil {
+				t.Fatalf("accepted %s", body)
+			}
+		})
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("accepted a missing file")
+	}
+}
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	in := Duration(1500 * time.Millisecond)
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `"1.5s"` {
+		t.Fatalf("marshal = %s", data)
+	}
+	var out Duration
+	if err := json.Unmarshal(data, &out); err != nil || out != in {
+		t.Fatalf("round trip: %v %v", out, err)
+	}
+	if err := json.Unmarshal([]byte(`true`), &out); err == nil {
+		t.Fatal("bool accepted as duration")
+	}
+}
+
+func TestConfigDiffSplitsReloadable(t *testing.T) {
+	cur := Config{}.normalized()
+	next := cur
+	next.Scenario = "Home"
+	next.MaxMissedPings = 9
+	next.Listen = "127.0.0.1:7777"
+	next.DTIMPeriod = 1
+	reloadable, restartOnly := cur.diff(next)
+	if len(reloadable) != 2 {
+		t.Errorf("reloadable = %v", reloadable)
+	}
+	if len(restartOnly) != 2 {
+		t.Errorf("restartOnly = %v", restartOnly)
+	}
+	if r, ro := cur.diff(cur); len(r)+len(ro) != 0 {
+		t.Errorf("self-diff not empty: %v %v", r, ro)
+	}
+}
+
+// TestDaemonBootControlAndDrain boots a daemon on ephemeral ports,
+// exercises the control plane over real HTTP, then cancels the run
+// context and asserts the graceful drain completed.
+func TestDaemonBootControlAndDrain(t *testing.T) {
+	d, err := New(Config{
+		Listen:         "127.0.0.1:0",
+		Control:        "127.0.0.1:0",
+		Scenario:       "none",
+		BeaconInterval: Duration(20 * time.Millisecond),
+		DrainDeadline:  Duration(2 * time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetLogf(t.Logf)
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- d.Run(ctx) }()
+
+	base := "http://" + d.ControlAddr().String()
+	waitHTTP(t, base+"/healthz")
+
+	var h control.Health
+	getJSON(t, base+"/healthz", &h)
+	if h.Status != "ok" || h.Draining {
+		t.Fatalf("health = %+v", h)
+	}
+	resp, err := http.Post(base+"/v1/inject", "application/json",
+		strings.NewReader(`{"port":5353,"count":2}`))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("inject: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if !strings.Contains(body, "hided_up 1") || !strings.Contains(body, "hided_beacons_sent_total") {
+		t.Fatalf("metrics missing expected series:\n%s", body)
+	}
+	// Reload without a config file is a clean client error, not a hang.
+	resp, err = http.Post(base+"/v1/reload", "application/json", nil)
+	if err != nil || resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("fileless reload: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	select {
+	case <-d.Drained():
+	default:
+		t.Fatal("shutdown skipped the graceful drain")
+	}
+}
+
+// TestReloadAppliesSubsetFromFile edits the config file under a
+// running daemon's feet and reloads.
+func TestReloadAppliesSubsetFromFile(t *testing.T) {
+	path := writeConfig(t, `{
+		"listen": "127.0.0.1:0",
+		"control": "127.0.0.1:0",
+		"scenario": "none",
+		"max_missed_pings": 3
+	}`)
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetLogf(t.Logf)
+	if summary, err := d.Reload(); err != nil || summary != "no changes" {
+		t.Fatalf("idempotent reload: %q %v", summary, err)
+	}
+	// max_missed_pings is reloadable; ssid needs a restart. Scenario is
+	// left alone so the reload path needs no running engine.
+	if err := os.WriteFile(path, []byte(`{
+		"listen": "127.0.0.1:0",
+		"control": "127.0.0.1:0",
+		"scenario": "none",
+		"max_missed_pings": 7,
+		"ssid": "other-net"
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	summary, err := d.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "applied: max_missed_pings: 3 -> 7") {
+		t.Errorf("summary missing applied change: %q", summary)
+	}
+	if !strings.Contains(summary, "requires restart: ssid") {
+		t.Errorf("summary missing restart-only change: %q", summary)
+	}
+	if d.Config().MaxMissedPings != 7 {
+		t.Errorf("reloadable field not applied: %+v", d.Config())
+	}
+	if d.Config().SSID != "hide-net" {
+		t.Errorf("restart-only field applied live: %+v", d.Config())
+	}
+	// A now-broken file fails the reload and keeps the old config.
+	if err := os.WriteFile(path, []byte(`{"scenario":"Nowhere"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Reload(); err == nil {
+		t.Fatal("broken file reloaded")
+	}
+	if d.Config().MaxMissedPings != 7 {
+		t.Error("failed reload clobbered the config")
+	}
+}
+
+func waitHTTP(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("%s never came up", url)
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// TestClientConfigDefaults pins the normalized defaults the state
+// machine's timings derive from.
+func TestClientConfigDefaults(t *testing.T) {
+	c := ClientConfig{}.normalized()
+	if c.ReconnectBase != 200*time.Millisecond || c.ReconnectMax != 5*time.Second {
+		t.Errorf("backoff defaults drifted: %+v", c)
+	}
+	if c.DeadTimeout != 3*c.BeaconTimeout {
+		t.Errorf("dead timeout default drifted: %+v", c)
+	}
+	if c.CheckInterval != c.BeaconTimeout/4 {
+		t.Errorf("check interval default drifted: %+v", c)
+	}
+}
+
+// TestClientBackoffGrowsAndJitters pins the backoff envelope:
+// doubling from base, capped at max, jitter within ±25%.
+func TestClientBackoffGrowsAndJitters(t *testing.T) {
+	c, err := NewClient(ClientConfig{
+		Connect:       "127.0.0.1:9", // discard port; never written to
+		Addr:          [6]byte{2, 0, 0, 0, 0, 1},
+		ReconnectBase: 100 * time.Millisecond,
+		ReconnectMax:  time.Second,
+		Seed:          42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.link.Close()
+	prevNominal := time.Duration(0)
+	for i := 0; i < 8; i++ {
+		nominal := 100 * time.Millisecond << i
+		if nominal > time.Second {
+			nominal = time.Second
+		}
+		c.mu.Lock()
+		got := c.backoffLocked()
+		c.mu.Unlock()
+		lo, hi := nominal*3/4, nominal*5/4
+		if got < lo || got > hi {
+			t.Errorf("attempt %d: backoff %v outside [%v,%v]", i, got, lo, hi)
+		}
+		if nominal < prevNominal {
+			t.Errorf("attempt %d: nominal backoff shrank", i)
+		}
+		prevNominal = nominal
+	}
+	if fmt.Sprint(StateConnecting, StateAssociated, StateDegraded, StateReconnecting, StateLost) !=
+		"connecting associated degraded reconnecting lost" {
+		t.Error("state names drifted")
+	}
+}

@@ -14,18 +14,21 @@ import (
 // delegations to their Context variants so the two can never drift.
 var CtxFirst = &Analyzer{
 	Name: "ctxfirst",
-	Doc: "exported functions in internal/core, internal/check, and internal/engine " +
-		"that spawn goroutines or call engine.Map/ForEach must take context.Context " +
-		"first; a legacy Foo alongside FooContext must be a one-line delegation",
+	Doc: "exported functions in internal/core, internal/check, internal/engine, " +
+		"internal/daemon, and internal/control that spawn goroutines or call " +
+		"engine.Map/ForEach must take context.Context first; a legacy Foo alongside " +
+		"FooContext must be a one-line delegation",
 	Run: runCtxFirst,
 }
 
 // ctxFirstScope lists the packages carrying the convention.
 var ctxFirstScope = map[string]bool{
-	"internal/core":   true,
-	"internal/check":  true,
-	"internal/engine": true,
-	"internal/ess":    true,
+	"internal/core":    true,
+	"internal/check":   true,
+	"internal/engine":  true,
+	"internal/ess":     true,
+	"internal/daemon":  true,
+	"internal/control": true,
 }
 
 func runCtxFirst(p *Pass) error {

@@ -17,7 +17,9 @@ var Determinism = &Analyzer{
 	Doc: "forbid time.Now/time.Since/time.Until, the global math/rand source, and " +
 		"order-sensitive map iteration (appending without a later sort, printing, or " +
 		"returning a value mid-iteration) outside the real-time allowlist " +
-		"(internal/sim/realtime.go, internal/porttable/measure.go, internal/cli); " +
+		"(internal/sim/realtime.go, internal/porttable/measure.go, " +
+		"internal/airlink/airlink.go, internal/check/live.go, internal/cli, " +
+		"internal/daemon); " +
 		"in seeded-RNG-only packages (internal/fault) every math/rand call is banned, " +
 		"including private rand.New/rand.NewSource",
 	Run: runDeterminism,
@@ -25,11 +27,22 @@ var Determinism = &Analyzer{
 
 // determinismAllowFiles maps a module-relative package path to file
 // base names excused from the check: the real-time adapter pins
-// virtual time to the wall clock by design, and the porttable
-// calibration harness measures real elapsed time.
+// virtual time to the wall clock by design, the porttable calibration
+// harness measures real elapsed time, the airlink hub deadlines real
+// sockets, and the live chaos harness drives a wall-clock daemon.
 var determinismAllowFiles = map[string]string{
 	"internal/sim":       "realtime.go",
 	"internal/porttable": "measure.go",
+	"internal/airlink":   "airlink.go",
+	"internal/check":     "live.go",
+}
+
+// determinismAllowPkgs excuses whole packages: terminal plumbing and
+// the daemon supervisor are wall-clock adjacent by nature (signal
+// handling, HTTP deadlines, drain timeouts).
+var determinismAllowPkgs = map[string]bool{
+	"internal/cli":    true,
+	"internal/daemon": true,
 }
 
 // bannedClockFuncs are the wall-clock reads.
@@ -47,8 +60,8 @@ var allowedRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf"
 var seededRNGOnly = map[string]bool{"internal/fault": true}
 
 func runDeterminism(p *Pass) error {
-	if p.RelPath() == "internal/cli" {
-		return nil // terminal plumbing, wall-clock adjacent by nature
+	if determinismAllowPkgs[p.RelPath()] {
+		return nil
 	}
 	for _, f := range p.Files {
 		base := filenameBase(p, f)

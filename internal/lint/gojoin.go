@@ -18,10 +18,10 @@ import (
 // over a channel) on every path to the function's normal exit.
 var GoJoin = &Analyzer{
 	Name: "gojoin",
-	Doc: "every go statement in internal/engine, internal/ess, and " +
-		"internal/netmedium must be joined (WaitGroup.Wait or a channel receive) on " +
-		"all normal exit paths of the enclosing function, so no goroutine outlives " +
-		"the barrier window that spawned it",
+	Doc: "every go statement in internal/engine, internal/ess, internal/netmedium, " +
+		"internal/daemon, and internal/control must be joined (WaitGroup.Wait or a " +
+		"channel receive) on all normal exit paths of the enclosing function, so no " +
+		"goroutine outlives the barrier window that spawned it",
 	Run: runGoJoin,
 }
 
@@ -30,6 +30,8 @@ var goJoinScope = map[string]bool{
 	"internal/engine":    true,
 	"internal/ess":       true,
 	"internal/netmedium": true,
+	"internal/daemon":    true,
+	"internal/control":   true,
 }
 
 func runGoJoin(p *Pass) error {

@@ -147,8 +147,9 @@ type Stats struct {
 	Evictions int
 }
 
-// maxMissedPings is how many consecutive PingTaps sweeps a subscriber
-// may leave unanswered before it is evicted. A tap that crashed
+// maxMissedPings is the default for how many consecutive PingTaps
+// sweeps a subscriber may leave unanswered before it is evicted
+// (configurable per server via SetLiveness). A tap that crashed
 // without unsubscribing would otherwise receive every published frame
 // forever.
 const maxMissedPings = 3
@@ -166,9 +167,10 @@ type Server struct {
 	pc     net.PacketConn
 	inject func(InjectRequest)
 
-	mu    sync.Mutex
-	subs  map[string]*subscriber
-	stats Stats
+	mu        sync.Mutex
+	subs      map[string]*subscriber
+	stats     Stats
+	maxMissed int // 0 = the maxMissedPings default
 }
 
 // NewServer wraps a packet connection. inject is called (from the
@@ -259,11 +261,21 @@ func (s *Server) touch(from net.Addr) {
 	}
 }
 
-// PingTaps runs one liveness sweep: subscribers that have left
-// maxMissedPings consecutive sweeps unanswered are evicted, the rest
-// are pinged again. Drive it at a steady cadence (ReplayRealtime pings
-// once per virtual second); any message from a tap — a Pong, an
-// Inject, even a fresh Subscribe — resets its counter.
+// SetLiveness overrides how many consecutive unanswered sweeps evict
+// a subscriber (values < 1 restore the default of 3). Safe to call
+// while serving.
+func (s *Server) SetLiveness(maxMissed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxMissed = maxMissed
+}
+
+// PingTaps runs one liveness sweep: subscribers that have left the
+// configured number of consecutive sweeps unanswered (SetLiveness;
+// default 3) are evicted, the rest are pinged again. Drive it at a
+// steady cadence (ReplayRealtime's cadence is configurable via
+// Monitor.SetLiveness); any message from a tap — a Pong, an Inject,
+// even a fresh Subscribe — resets its counter.
 func (s *Server) PingTaps() {
 	ping, err := Message{Type: MsgPing}.Marshal()
 	if err != nil {
@@ -271,8 +283,12 @@ func (s *Server) PingTaps() {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	limit := s.maxMissed
+	if limit < 1 {
+		limit = maxMissedPings
+	}
 	for key, sub := range s.subs {
-		if sub.missed >= maxMissedPings {
+		if sub.missed >= limit {
 			delete(s.subs, key)
 			s.stats.Evictions++
 			continue

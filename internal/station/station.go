@@ -168,6 +168,10 @@ type Stats struct {
 	// Reassociations counts completed roams (reassociation responses
 	// accepted).
 	Reassociations int
+	// DisassocsReceived counts AP-initiated disassociation frames
+	// accepted (drain fan-out, liveness eviction): the station detaches
+	// locally without transmitting anything back.
+	DisassocsReceived int
 }
 
 // Observer receives station lifecycle events. Observers run
@@ -407,13 +411,7 @@ func (s *Station) Leave(reason uint16) {
 		Reason: reason,
 	}
 	s.med.Transmit(s.cfg.Addr, d.Marshal(), s.cfg.CtrlRate)
-	s.associated = false
-	s.aid = 0
-	s.listening = false
-	s.awaitingACK = false
-	s.ackTimer.Cancel()
-	s.suspendEv.Cancel()
-	s.setSuspended(true)
+	s.detach()
 }
 
 // Migrate moves the station to another engine and medium shard at a
@@ -644,7 +642,62 @@ func (s *Station) Receive(raw []byte, rate dot11.Rate, now time.Duration) {
 		}
 	case dot11.KindACK:
 		s.handleACK(now)
+	case dot11.KindDisassoc:
+		if s.associated {
+			s.handleDisassoc(raw)
+		}
 	}
+}
+
+// handleDisassoc processes an AP-initiated disassociation (drain
+// fan-out, liveness eviction): the station detaches locally — no frame
+// goes back; the AP has already dropped the association. Frames not
+// from this BSS, or addressed to another station, are ignored.
+func (s *Station) handleDisassoc(raw []byte) {
+	d, err := dot11.UnmarshalDisassoc(raw)
+	if err != nil {
+		return
+	}
+	if d.Header.Addr2 != s.cfg.BSSID {
+		return
+	}
+	if d.Header.Addr1 != s.cfg.Addr && !d.Header.Addr1.IsMulticast() {
+		return
+	}
+	s.stats.DisassocsReceived++
+	s.detach()
+}
+
+// Abandon detaches from the BSS without transmitting anything — the
+// client-side teardown for an AP that is already gone (a reconnecting
+// daemon gives up on a dead AP and starts a fresh association). The
+// station can associate again afterwards; compare Leave, which sends
+// a disassociation frame first, and Crash, which is terminal.
+func (s *Station) Abandon() {
+	if !s.associated {
+		return
+	}
+	s.detach()
+}
+
+// detach drops the association and quiesces all protocol timers; the
+// suspend timeline closes in the suspended state.
+func (s *Station) detach() {
+	s.associated = false
+	s.aid = 0
+	s.listening = false
+	s.awaitingACK = false
+	s.ackTimer.Cancel()
+	s.assocTimer.Cancel()
+	s.suspendEv.Cancel()
+	s.setSuspended(true)
+}
+
+// LastBeaconAt returns the virtual time the station last heard a
+// beacon (zero before the first), and whether one has been heard since
+// association. Supervisors use it to detect a silent AP.
+func (s *Station) LastBeaconAt() (time.Duration, bool) {
+	return s.lastBeaconAt, s.lastBeaconAt > 0
 }
 
 // handleBeacon processes TIM/BTIM indications. The radio wakes for
