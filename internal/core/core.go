@@ -86,6 +86,18 @@ type Options struct {
 	// individually, larger values chunk each port class into cohorts of
 	// at most Cohort members, enabling 10⁵–10⁶ client populations.
 	Cohort int
+	// WindowWorkers switches protocol-simulation runs (the scaling
+	// entry points) to the windowed-parallel assembly
+	// (WindowedNetwork): stations advance through one DTIM window per
+	// barrier on up to WindowWorkers goroutines, with AP-side effects
+	// merged serially. 0 keeps the legacy single-engine Network; any
+	// value ≥ 1 selects windowed mode with that concurrency bound — the
+	// output is byte-identical for every WindowWorkers ≥ 1, and 1 is
+	// the sequential reference the equivalence suite compares against.
+	// The analytic pipeline (RunSuiteContext et al.) has no event-driven
+	// simulation to window and ignores the field; its parallelism knob
+	// is Workers.
+	WindowWorkers int
 }
 
 // WithSeed returns a copy of o selecting the tagging seed explicitly

@@ -46,6 +46,7 @@ func (n *Network) ServeMonitor(pc net.PacketConn) *Monitor {
 	})
 	n.Medium.SetTap(m.Server.Publish)
 	n.monitor = m
+	//lint:ignore gojoin the serve goroutine IS the monitor's lifetime — Close joins it through the served channel; it cannot join here or ServeMonitor would never return
 	go func() {
 		defer close(m.served)
 		_ = m.Server.Serve() //lint:ignore errdrop Serve returns only when Close shuts the socket

@@ -5,10 +5,39 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/dot11"
 	"repro/internal/energy"
 	"repro/internal/station"
 	"repro/internal/trace"
 )
+
+// scaleAssembly is the slice of the assembly API the scaling loops
+// need, satisfied by both the serial Network and the windowed-parallel
+// WindowedNetwork so one loop body serves both execution modes.
+type scaleAssembly interface {
+	AddStation(mode station.Mode, openPorts []uint16) (*station.Station, error)
+	AddCohort(mode station.Mode, openPorts []uint16, count, li int) (*station.CohortStation, error)
+	Replay(tr *trace.Trace) error
+}
+
+// newScaleAssembly builds the execution mode opts selects: the legacy
+// single-engine Network, or (opts.WindowWorkers ≥ 1) the windowed
+// assembly with that concurrency bound. The returned *Network is the
+// stats/energy view — the network itself, or the windowed hub.
+func newScaleAssembly(cfg NetworkConfig, opts Options) (scaleAssembly, *Network, error) {
+	if opts.WindowWorkers > 0 {
+		w, err := NewWindowedNetwork(WindowConfig{Network: cfg, Workers: opts.WindowWorkers})
+		if err != nil {
+			return nil, nil, err
+		}
+		return w, w.Hub, nil
+	}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, n, nil
+}
 
 // ScalePoint is one population size in the client-scaling experiment —
 // a question the paper leaves implicit: how do the BTIM element and
@@ -33,12 +62,13 @@ type ScalePoint struct {
 // Station i listens on a port drawn round-robin from the trace's port
 // set, so usefulness is spread across the population.
 func ScaleClients(tr *trace.Trace, dev energy.Profile, sizes []int) ([]ScalePoint, error) {
-	return scaleIndividual(NetworkConfig{HIDE: true}, tr, dev, sizes)
+	return scaleIndividual(NetworkConfig{HIDE: true}, tr, dev, sizes, Options{})
 }
 
 // scaleIndividual is the individually-modeled-station scaling path,
-// parameterized by the network configuration.
-func scaleIndividual(cfg NetworkConfig, tr *trace.Trace, dev energy.Profile, sizes []int) ([]ScalePoint, error) {
+// parameterized by the network configuration and the execution mode
+// (opts.WindowWorkers).
+func scaleIndividual(cfg NetworkConfig, tr *trace.Trace, dev energy.Profile, sizes []int, opts Options) ([]ScalePoint, error) {
 	hist := tr.PortHistogram()
 	var ports []uint16
 	for p := range hist {
@@ -54,19 +84,19 @@ func scaleIndividual(cfg NetworkConfig, tr *trace.Trace, dev energy.Profile, siz
 		if n < 1 {
 			return nil, fmt.Errorf("core: population %d < 1", n)
 		}
-		net, err := NewNetwork(cfg)
+		asm, net, err := newScaleAssembly(cfg, opts)
 		if err != nil {
 			return nil, err
 		}
 		sts := make([]*station.Station, 0, n)
 		for i := 0; i < n; i++ {
-			st, err := net.AddStation(station.HIDE, []uint16{ports[i%len(ports)]})
+			st, err := asm.AddStation(station.HIDE, []uint16{ports[i%len(ports)]})
 			if err != nil {
 				return nil, err
 			}
 			sts = append(sts, st)
 		}
-		if err := net.Replay(tr); err != nil {
+		if err := asm.Replay(tr); err != nil {
 			return nil, err
 		}
 
@@ -109,7 +139,7 @@ func ScaleClientsOptions(tr *trace.Trace, dev energy.Profile, sizes []int, opts 
 func ScaleClientsNetwork(cfg NetworkConfig, tr *trace.Trace, dev energy.Profile, sizes []int, opts Options) ([]ScalePoint, error) {
 	cfg.HIDE = true
 	if opts.Cohort <= 1 {
-		return scaleIndividual(cfg, tr, dev, sizes)
+		return scaleIndividual(cfg, tr, dev, sizes, opts)
 	}
 	hist := tr.PortHistogram()
 	var ports []uint16
@@ -126,7 +156,7 @@ func ScaleClientsNetwork(cfg NetworkConfig, tr *trace.Trace, dev energy.Profile,
 		if n < 1 {
 			return nil, fmt.Errorf("core: population %d < 1", n)
 		}
-		net, err := NewNetwork(cfg)
+		asm, net, err := newScaleAssembly(cfg, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -137,14 +167,14 @@ func ScaleClientsNetwork(cfg NetworkConfig, tr *trace.Trace, dev energy.Profile,
 				size++
 			}
 			for off := 0; off < size; off += opts.Cohort {
-				c, err := net.AddCohort(station.HIDE, []uint16{ports[i]}, min(opts.Cohort, size-off), 1)
+				c, err := asm.AddCohort(station.HIDE, []uint16{ports[i]}, min(opts.Cohort, size-off), 1)
 				if err != nil {
 					return nil, err
 				}
 				cohorts = append(cohorts, c)
 			}
 		}
-		if err := net.Replay(tr); err != nil {
+		if err := asm.Replay(tr); err != nil {
 			return nil, err
 		}
 
@@ -237,6 +267,47 @@ func DefaultRefreshJitterStudy(dev energy.Profile) ([]RefreshJitterPoint, error)
 			}
 			out = append(out, RefreshJitterPoint{Jitter: j, ScalePoint: pts[0]})
 		}
+	}
+	return out, nil
+}
+
+// PortCoalescePoint is one cell of the port-message batching study:
+// the scaling metrics for one NetworkConfig.PortCoalesce window.
+type PortCoalescePoint struct {
+	// Coalesce is the batching window (0 = legacy, one frame per
+	// suspend attempt).
+	Coalesce time.Duration
+	ScalePoint
+}
+
+// DefaultPortCoalesceStudy measures UDP Port Message batching against
+// the same N=500 hardened population where DefaultRefreshJitterStudy
+// observes the onset of the refresh-storm collapse. Jitter attacks the
+// storms' phase alignment; PortCoalesce attacks their volume from the
+// other end: a station about to suspend whose open-port set still
+// matches its last acknowledged sync — and whose sync is younger than
+// the coalesce window — skips the redundant registration outright, so
+// bursts of suspend attempts inside one window collapse into a single
+// Port Message frame. The sweep takes one DTIM span (the tightest
+// window that can span two suspend attempts) and the hardened refresh
+// cadence of three spans (the largest window that never starves a TTL
+// refresh); past that the knob would merely re-create SyncOnlyOnChange
+// and its known fail-safe gap (DESIGN.md §7).
+func DefaultPortCoalesceStudy(dev energy.Profile) ([]PortCoalescePoint, error) {
+	tr, err := defaultScaleTrace()
+	if err != nil {
+		return nil, err
+	}
+	dtimSpan := 3 * dot11.DefaultBeaconInterval // the default DTIM period
+	var out []PortCoalescePoint
+	for _, c := range []time.Duration{0, dtimSpan, 3 * dtimSpan} {
+		pts, err := ScaleClientsNetwork(
+			NetworkConfig{HIDE: true, Harden: true, PortCoalesce: c},
+			tr, dev, []int{500}, Options{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PortCoalescePoint{Coalesce: c, ScalePoint: pts[0]})
 	}
 	return out, nil
 }

@@ -19,19 +19,24 @@ import (
 var GoJoin = &Analyzer{
 	Name: "gojoin",
 	Doc: "every go statement in internal/engine, internal/ess, internal/netmedium, " +
-		"internal/daemon, and internal/control must be joined (WaitGroup.Wait or a " +
-		"channel receive) on all normal exit paths of the enclosing function, so no " +
-		"goroutine outlives the barrier window that spawned it",
+		"internal/daemon, internal/control, and internal/core must be joined " +
+		"(WaitGroup.Wait or a channel receive) on all normal exit paths of the " +
+		"enclosing function, so no goroutine outlives the barrier window that " +
+		"spawned it",
 	Run: runGoJoin,
 }
 
 // goJoinScope lists the packages whose goroutines must be joined.
+// internal/core joined the scope with the windowed-parallel runner:
+// its per-window group workers (WindowedNetwork.advanceGroups) carry
+// exactly the barrier discipline this analyzer protects.
 var goJoinScope = map[string]bool{
 	"internal/engine":    true,
 	"internal/ess":       true,
 	"internal/netmedium": true,
 	"internal/daemon":    true,
 	"internal/control":   true,
+	"internal/core":      true,
 }
 
 func runGoJoin(p *Pass) error {

@@ -283,6 +283,10 @@ func TestCanaryShardGoroutineLeak(t *testing.T) {
 	checkCanary(t, GoJoin, "canary_gojoin", "repro/internal/ess")
 }
 
+func TestCanaryWindowWorkerLeak(t *testing.T) {
+	checkCanary(t, GoJoin, "canary_window", "repro/internal/core")
+}
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
 	if err != nil || len(all) != len(All()) {

@@ -22,19 +22,23 @@ import (
 // inside a single expression.
 var RNGDraw = &Analyzer{
 	Name: "rngdraw",
-	Doc: "in internal/fault, internal/ess, and internal/station, branches of a " +
-		"conditional that both fall through must consume the same number of seeded-RNG " +
-		"draws (*sim.RNG / *math/rand.Rand method calls), and a draw must not sit on " +
-		"the short-circuited side of && or ||; early-returning branches are exempt " +
-		"(the documented consume-nothing combinator pattern)",
+	Doc: "in internal/fault, internal/ess, internal/station, and internal/core, " +
+		"branches of a conditional that both fall through must consume the same " +
+		"number of seeded-RNG draws (*sim.RNG / *math/rand.Rand method calls), and a " +
+		"draw must not sit on the short-circuited side of && or ||; early-returning " +
+		"branches are exempt (the documented consume-nothing combinator pattern)",
 	Run: runRNGDraw,
 }
 
 // rngDrawScope lists the packages carrying the draw-count discipline.
+// internal/core joined the scope with the windowed-parallel runner:
+// group-private RNG streams stay worker-count independent only while
+// every draw site keeps the fixed-count convention.
 var rngDrawScope = map[string]bool{
 	"internal/fault":   true,
 	"internal/ess":     true,
 	"internal/station": true,
+	"internal/core":    true,
 }
 
 func runRNGDraw(p *Pass) error {

@@ -70,7 +70,7 @@ type Config struct {
 	// paper sends port messages at the lowest rate, 1 Mb/s).
 	CtrlRate dot11.Rate
 	// AckTimeout bounds the wait for a UDP Port Message ACK before
-	// retransmission (default 60 ms).
+	// retransmission (default DefaultAckTimeout).
 	AckTimeout time.Duration
 	// MaxRetries bounds port-message retransmissions (default 4).
 	MaxRetries int
@@ -87,6 +87,21 @@ type Config struct {
 	// AP never losing association state. Skips are counted in
 	// Stats.PortMsgsSkipped.
 	SyncOnlyOnChange bool
+	// PortCoalesce batches port registrations and refreshes: a
+	// pre-suspend UDP Port Message is skipped while the last
+	// acknowledged sync still matches the current open-port set AND is
+	// younger than this window, so the short awake/suspend cycles of a
+	// busy trace ride on one registration instead of re-sending an
+	// identical port list every few hundred milliseconds. Port changes
+	// made while awake still coalesce into the single full-list message
+	// sent at the next suspend whose sync is stale or dirty. Unlike
+	// SyncOnlyOnChange the skip is freshness-bounded, so it composes
+	// with the hardened AP-side TTL: keep the window below the AP's
+	// PortTTL minus the refresh cadence and the table entry can never
+	// age out behind a skipped sync. Zero disables coalescing — the
+	// paper's send-every-suspend behaviour, byte-identical to builds
+	// without the knob. Skips are counted in Stats.PortMsgsCoalesced.
+	PortCoalesce time.Duration
 	// PortRefresh re-sends the UDP Port Message when a heard DTIM
 	// beacon finds the last acknowledged sync older than this,
 	// refreshing the AP's TTL'd port-table entry (ap.Config.PortTTL)
@@ -109,6 +124,13 @@ type Config struct {
 	Seed uint64
 }
 
+// DefaultAckTimeout is the default bound on the UDP Port Message ACK
+// wait. The windowed-parallel runner stretches Config.AckTimeout by its
+// window on top of this: uplink crosses to the AP only at barriers, so
+// the handshake round trip grows by up to one window and the stock
+// timeout would misread that latency as loss.
+const DefaultAckTimeout = 60 * time.Millisecond
+
 // normalized fills defaults.
 func (c Config) normalized() Config {
 	if c.Tau <= 0 {
@@ -121,7 +143,7 @@ func (c Config) normalized() Config {
 		c.CtrlRate = dot11.Rate1Mbps
 	}
 	if c.AckTimeout <= 0 {
-		c.AckTimeout = 60 * time.Millisecond
+		c.AckTimeout = DefaultAckTimeout
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 4
@@ -153,6 +175,9 @@ type Stats struct {
 	// unacknowledged after the full retry budget — the AP may hold
 	// stale (conservative) information until the next refresh.
 	PortMsgGivenUp int
+	// PortMsgsCoalesced counts pre-suspend port messages skipped by the
+	// Config.PortCoalesce batching window (fresh matching sync).
+	PortMsgsCoalesced int
 	// PortMsgRefreshes counts TTL-refresh port messages triggered by
 	// Config.PortRefresh.
 	PortMsgRefreshes int
@@ -922,6 +947,12 @@ func (s *Station) trySuspend(now time.Duration) {
 		return
 	}
 	if s.cfg.Mode == HIDE {
+		if s.cfg.PortCoalesce > 0 && s.syncedPorts != nil &&
+			now-s.lastSyncAt < s.cfg.PortCoalesce && equalPorts(s.syncedPorts, s.OpenPorts()) {
+			s.stats.PortMsgsCoalesced++
+			s.completeSuspend()
+			return
+		}
 		if s.cfg.SyncOnlyOnChange && s.syncedPorts != nil && equalPorts(s.syncedPorts, s.OpenPorts()) {
 			s.stats.PortMsgsSkipped++
 			s.completeSuspend()
